@@ -1,0 +1,180 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "data/transform.hpp"
+
+namespace odonn::bench {
+
+std::size_t BenchConfig::scaled_block(std::size_t paper_block) const {
+  const double scaled = static_cast<double>(paper_block) *
+                        static_cast<double>(grid) / 200.0;
+  return std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(scaled)));
+}
+
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::Smoke: return "smoke";
+    case Scale::Default: return "default";
+    case Scale::Paper: return "paper";
+  }
+  return "?";
+}
+
+BenchConfig make_bench_config(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string scale_str = cfg.get_string("bench.scale", "default");
+
+  BenchConfig bc;
+  if (scale_str == "smoke") {
+    bc.scale = Scale::Smoke;
+    bc.grid = 32;
+    bc.samples = 400;
+    bc.epochs_dense = 1;
+    bc.epochs_sparse = 1;
+    bc.epochs_finetune = 0;
+    bc.batch = 50;
+    bc.two_pi_iterations = 2000;
+  } else if (scale_str == "paper") {
+    bc.scale = Scale::Paper;
+    bc.grid = 200;
+    bc.samples = 12000;
+    bc.epochs_dense = 50;
+    bc.epochs_sparse = 10;
+    bc.epochs_finetune = 2;
+    bc.batch = 200;
+    bc.two_pi_iterations = 3000;
+  } else if (scale_str == "default") {
+    bc = BenchConfig{};
+  } else {
+    throw ConfigError("unknown bench scale '" + scale_str + "'");
+  }
+  bc.grid = static_cast<std::size_t>(cfg.get_int("grid", static_cast<long>(bc.grid)));
+  bc.samples = static_cast<std::size_t>(
+      cfg.get_int("samples", static_cast<long>(bc.samples)));
+  bc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  return bc;
+}
+
+train::RecipeOptions recipe_options(const BenchConfig& cfg,
+                                    std::size_t paper_block) {
+  train::RecipeOptions opt;
+  opt.model = donn::DonnConfig::scaled(cfg.grid);
+  opt.epochs_dense = cfg.epochs_dense;
+  opt.epochs_sparse = cfg.epochs_sparse;
+  opt.epochs_finetune = cfg.epochs_finetune;
+  opt.batch_size = cfg.batch;
+  opt.lr_dense = 0.2;       // §IV-A2
+  opt.lr_sparse = 0.001;    // §IV-A2
+  opt.roughness_p = 0.1;    // Fig. 6c inflection (per-pixel normalized)
+  opt.intra_q = 0.03;       // Ours-D shape at this scale (see recipe.hpp)
+  opt.scheme.scheme = sparsify::Scheme::Block;
+  opt.scheme.ratio = 0.1;   // §IV-A2 sparsification ratio
+  opt.scheme.block_size = cfg.scaled_block(paper_block);
+  opt.slr.rho = 0.1;        // §IV-A2: rho=0.1, M=300, r=0.1, s0=0.01
+  opt.slr.M = 300;
+  opt.slr.r = 0.1;
+  opt.slr.s0 = 0.01;
+  opt.two_pi.iterations = cfg.two_pi_iterations;
+  opt.seed = cfg.seed;
+  return opt;
+}
+
+PreparedData prepare_dataset(data::SyntheticFamily family,
+                             const BenchConfig& cfg) {
+  const auto raw = data::make_synthetic(family, cfg.samples, cfg.seed + 1000);
+  const auto resized = data::resize_dataset(raw, cfg.grid);
+  Rng rng(cfg.seed + 2000);
+  auto [train, test] = resized.split(0.8, rng);
+  return {std::move(train), std::move(test)};
+}
+
+bool shape_check(bool pass, const std::string& description) {
+  std::printf("[check] %s  %s\n", pass ? "PASS" : "FAIL", description.c_str());
+  return pass;
+}
+
+int run_table_bench(const char* title, data::SyntheticFamily family,
+                    std::size_t paper_block,
+                    const std::vector<PaperRow>& paper, int argc,
+                    char** argv) {
+  const BenchConfig cfg = make_bench_config(argc, argv);
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%s grid=%zu samples=%zu epochs=%zu+%zu+%zu block=%zu "
+              "(paper block %zu on 200) sparsity=0.1 seed=%llu\n",
+              scale_name(cfg.scale), cfg.grid, cfg.samples, cfg.epochs_dense,
+              cfg.epochs_sparse, cfg.epochs_finetune,
+              cfg.scaled_block(paper_block), paper_block,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("note: measured numbers come from a CPU-sized synthetic rerun; "
+              "compare SHAPE, not absolutes (DESIGN.md 2).\n\n");
+
+  const auto opt = recipe_options(cfg, paper_block);
+  const auto dataset = prepare_dataset(family, cfg);
+  const auto rows = train::run_table(opt, dataset.train, dataset.test);
+
+  std::printf("%-10s | %21s | %25s | %25s\n", "model", "accuracy (%)",
+              "R_overall before 2pi", "R_overall after 2pi");
+  std::printf("%-10s | %10s %10s | %12s %12s | %12s %12s\n", "", "paper",
+              "measured", "paper", "measured", "paper", "measured");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = rows[i];
+    const auto& p = paper[i];
+    char after_paper[32];
+    if (p.r_after < 0.0) {
+      std::snprintf(after_paper, sizeof(after_paper), "%12s", "-");
+    } else {
+      std::snprintf(after_paper, sizeof(after_paper), "%12.2f", p.r_after);
+    }
+    std::printf("%-10s | %10.2f %10.2f | %12.2f %12.2f | %s %12.2f\n",
+                p.model, p.acc, 100.0 * m.accuracy, p.r_before,
+                m.roughness_before, after_paper, m.roughness_after);
+  }
+
+  // Shape checks: the paper's qualitative claims on this table.
+  const auto& base = rows[0];
+  const auto& a = rows[1];
+  const auto& b = rows[2];
+  const auto& c = rows[3];
+  const auto& d = rows[4];
+  int failures = 0;
+  failures += !shape_check(a.roughness_before < base.roughness_before,
+                           "Ours-A (roughness-aware) smoother than baseline");
+  failures += !shape_check(b.roughness_after < b.roughness_before,
+                           "2pi optimization reduces Ours-B roughness");
+  failures += !shape_check(c.roughness_after < base.roughness_before,
+                           "Ours-C after 2pi smoother than baseline (paper: "
+                           "28-36% reduction)");
+  failures += !shape_check(d.roughness_after <= c.roughness_after * 1.05,
+                           "Ours-D at least as smooth as Ours-C after 2pi");
+  if (cfg.scale != Scale::Smoke) {
+    // Accuracy-ordering claims need more than the smoke scale's single
+    // epoch to be meaningful.
+    failures += !shape_check(base.accuracy - d.accuracy < 0.12,
+                             "Ours-D accuracy within a few points of baseline");
+    // Paper: Ours-B accuracy is at or above Ours-A. At this reduced scale
+    // the SLR schedule gets 2 epochs + 1 mask-frozen epoch (vs the paper's
+    // dozens), which can cost a few points on the harder glyph tasks.
+    failures += !shape_check(b.accuracy >= a.accuracy - 0.08,
+                             "sparsified model keeps accuracy vs Ours-A "
+                             "(reduced-schedule slack)");
+  } else {
+    std::printf("[check] SKIP  accuracy-ordering checks (smoke scale trains "
+                "a single epoch)\n");
+  }
+  const double reduction =
+      1.0 - c.roughness_after / base.roughness_before;
+  std::printf("\nOurs-C roughness reduction vs baseline: %.1f%% "
+              "(paper reports 27-36%% across datasets)\n", 100.0 * reduction);
+  std::printf("deployment emulation: baseline %.2f%% -> %.2f%% deployed; "
+              "Ours-C %.2f%% -> %.2f%% (after 2pi)\n",
+              100.0 * base.accuracy, 100.0 * base.deployed_accuracy,
+              100.0 * c.accuracy, 100.0 * c.deployed_accuracy_after_2pi);
+  std::printf("%d shape-check failure(s)\n\n", failures);
+  return failures;
+}
+
+}  // namespace odonn::bench

@@ -1,0 +1,73 @@
+// Shared scaffolding for the experiment benches: scale selection
+// (smoke / default / paper via ODONN_BENCH_SCALE or scale=...), dataset
+// preparation, recipe-option construction and paper-vs-measured printing.
+//
+// Bench output convention: every row prints the paper's reported value next
+// to the measured one. Absolute numbers are NOT expected to match (CPU-sized
+// grids, synthetic data, reduced epochs — see DESIGN.md §2); the SHAPE
+// checks printed at the end of each bench assert the qualitative claims.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "train/recipe.hpp"
+
+namespace odonn::bench {
+
+enum class Scale { Smoke, Default, Paper };
+
+struct BenchConfig {
+  Scale scale = Scale::Default;
+  std::size_t grid = 64;
+  std::size_t samples = 2400;       ///< total (split 80/20 train/test)
+  std::size_t epochs_dense = 4;
+  std::size_t epochs_sparse = 2;
+  std::size_t epochs_finetune = 1;
+  std::size_t batch = 100;
+  std::size_t two_pi_iterations = 2500;
+  std::uint64_t seed = 7;
+
+  /// Scales a paper block size (given on the 200-grid) to this grid.
+  std::size_t scaled_block(std::size_t paper_block) const;
+};
+
+/// Reads scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples= overrides.
+BenchConfig make_bench_config(int argc, char** argv);
+
+const char* scale_name(Scale scale);
+
+/// Recipe options matching the paper's §IV-A2 setup at this bench scale.
+train::RecipeOptions recipe_options(const BenchConfig& cfg,
+                                    std::size_t paper_block);
+
+/// Synthesizes + resizes + splits one dataset family.
+struct PreparedData {
+  data::Dataset train;
+  data::Dataset test;
+};
+PreparedData prepare_dataset(data::SyntheticFamily family,
+                             const BenchConfig& cfg);
+
+/// One row of a paper table (dash-able paper_after for Ours-A).
+struct PaperRow {
+  const char* model;
+  double acc;
+  double r_before;
+  double r_after;  ///< < 0 encodes the paper's "-" cell
+};
+
+/// Runs the five recipes on a dataset and prints the paper-vs-measured
+/// table plus shape checks. Returns the number of failed shape checks.
+int run_table_bench(const char* title, data::SyntheticFamily family,
+                    std::size_t paper_block,
+                    const std::vector<PaperRow>& paper, int argc, char** argv);
+
+/// Prints "[check] PASS/FAIL description"; returns pass.
+bool shape_check(bool pass, const std::string& description);
+
+}  // namespace odonn::bench

@@ -1,0 +1,111 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace odonn {
+
+namespace {
+
+std::string to_env_name(const std::string& key) {
+  std::string name = "ODONN_";
+  for (char c : key) {
+    if (c == '.' || c == '-') {
+      name.push_back('_');
+    } else {
+      name.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return name;
+}
+
+bool parse_bool(const std::string& raw, const std::string& key) {
+  std::string low(raw.size(), '\0');
+  std::transform(raw.begin(), raw.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "1" || low == "true" || low == "yes" || low == "on") return true;
+  if (low == "0" || low == "false" || low == "no" || low == "off") return false;
+  throw ConfigError("key '" + key + "': cannot parse '" + raw + "' as bool");
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ConfigError("expected key=value argument, got '" +
+                        std::string(argv[i]) + "'");
+    }
+    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+std::optional<std::string> Config::env(const std::string& key) {
+  if (const char* value = std::getenv(to_env_name(key).c_str())) {
+    return std::string(value);
+  }
+  return std::nullopt;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0 || env(key).has_value();
+}
+
+std::optional<std::string> Config::lookup(const std::string& key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  return env(key);
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& dflt) const {
+  return lookup(key).value_or(dflt);
+}
+
+long Config::get_int(const std::string& key, long dflt) const {
+  const auto raw = lookup(key);
+  if (!raw) return dflt;
+  char* end = nullptr;
+  const long value = std::strtol(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') {
+    throw ConfigError("key '" + key + "': cannot parse '" + *raw + "' as int");
+  }
+  return value;
+}
+
+double Config::get_double(const std::string& key, double dflt) const {
+  const auto raw = lookup(key);
+  if (!raw) return dflt;
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    throw ConfigError("key '" + key + "': cannot parse '" + *raw + "' as double");
+  }
+  return value;
+}
+
+bool Config::get_bool(const std::string& key, bool dflt) const {
+  const auto raw = lookup(key);
+  if (!raw) return dflt;
+  return parse_bool(*raw, key);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace odonn

@@ -1,0 +1,45 @@
+// Key=value configuration used by examples and bench binaries.
+//
+// Sources, in increasing precedence: built-in defaults, ODONN_* environment
+// variables, command-line "key=value" arguments. Typed getters throw
+// ConfigError on malformed values so bad invocations fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace odonn {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv entries of the form key=value (a leading "--" is allowed).
+  /// Non key=value tokens throw ConfigError.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Reads ODONN_<KEY> (upper-cased, '.'->'_') from the environment.
+  static std::optional<std::string> env(const std::string& key);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; environment overrides the default, a
+  /// command-line value overrides both.
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  long get_int(const std::string& key, long dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// Keys present on the command line (for echoing configs in bench logs).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace odonn

@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace odonn::detail {
+
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  // Strip leading directories so messages stay short and stable in tests.
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+
+  std::ostringstream os;
+  os << msg << " [" << expr << " at " << base << ':' << line << ']';
+  if (std::strcmp(kind, "shape") == 0) {
+    throw ShapeError(os.str());
+  }
+  throw Error(os.str());
+}
+
+}  // namespace odonn::detail

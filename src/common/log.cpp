@@ -1,0 +1,75 @@
+#include "common/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace odonn::log {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read env on first use
+std::mutex g_emit_mutex;
+
+int init_from_env() {
+  const char* env = std::getenv("ODONN_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(Level::Info);
+  try {
+    return static_cast<int>(parse_level(env));
+  } catch (const Error&) {
+    return static_cast<int>(Level::Info);
+  }
+}
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "E";
+    case Level::Warn:  return "W";
+    case Level::Info:  return "I";
+    case Level::Debug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = init_from_env();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(lvl);
+}
+
+void set_level(Level lvl) {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "error") return Level::Error;
+  if (low == "warn" || low == "warning") return Level::Warn;
+  if (low == "info") return Level::Info;
+  if (low == "debug") return Level::Debug;
+  throw ConfigError("unknown log level '" + name + "'");
+}
+
+namespace detail {
+
+void emit(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[odonn %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace odonn::log

@@ -1,0 +1,48 @@
+// Minimal leveled logger. Intentionally tiny: benches and examples use it for
+// progress lines; library code logs only at Debug level so default runs stay
+// quiet. Controlled by ODONN_LOG_LEVEL (error|warn|info|debug) or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace odonn::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Global log threshold; messages above it are dropped.
+Level level();
+void set_level(Level lvl);
+
+/// Parse "error"/"warn"/"info"/"debug" (case-insensitive); throws ConfigError.
+Level parse_level(const std::string& name);
+
+namespace detail {
+void emit(Level lvl, const std::string& message);
+}
+
+/// Stream-style log line: LOG(Info) << "epoch " << e;
+class Line {
+ public:
+  explicit Line(Level lvl) : lvl_(lvl) {}
+  ~Line() { detail::emit(lvl_, os_.str()); }
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+
+  template <typename T>
+  Line& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+inline Line error() { return Line(Level::Error); }
+inline Line warn() { return Line(Level::Warn); }
+inline Line info() { return Line(Level::Info); }
+inline Line debug() { return Line(Level::Debug); }
+
+}  // namespace odonn::log

@@ -1,0 +1,213 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace odonn {
+
+namespace {
+
+/// Simple work-queue thread pool. Built lazily on first use; lives for the
+/// process. Tasks are plain std::function<void()>; submitters wait on a
+/// per-batch countdown latch.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n) {
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+std::size_t g_requested_threads = 0;  // 0 = auto
+std::atomic<bool> g_pool_built{false};
+std::mutex g_pool_mutex;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("ODONN_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& pool() {
+  static ThreadPool* instance = [] {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    const std::size_t n =
+        g_requested_threads > 0 ? g_requested_threads : default_thread_count();
+    g_pool_built.store(true);
+    return new ThreadPool(n);
+  }();
+  return *instance;
+}
+
+/// Guards against nested parallel_for deadlocking by running nested calls
+/// inline on the caller thread.
+thread_local bool t_inside_parallel = false;
+
+struct Latch {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t remaining;
+  std::exception_ptr first_error;
+
+  explicit Latch(std::size_t n) : remaining(n) {}
+
+  void count_down(std::exception_ptr err) {
+    std::lock_guard<std::mutex> lock(m);
+    if (err && !first_error) first_error = err;
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [this] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+}  // namespace
+
+std::size_t thread_count() {
+  if (g_pool_built.load()) return pool().size();
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_requested_threads > 0 ? g_requested_threads : default_thread_count();
+}
+
+void set_thread_count(std::size_t n) {
+  ODONN_CHECK(n >= 1, "thread count must be >= 1");
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  ODONN_CHECK(!g_pool_built.load(),
+              "set_thread_count must be called before first parallel_for");
+  g_requested_threads = n;
+}
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t total = end - begin;
+  const std::size_t workers = thread_count();
+
+  if (t_inside_parallel || workers <= 1 || total <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  // Cap chunk count at ~4x workers for load balance without queue churn.
+  std::size_t chunks = std::min(total / grain + (total % grain != 0 ? 1 : 0),
+                                workers * 4);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t step = (total + chunks - 1) / chunks;
+  chunks = (total + step - 1) / step;
+
+  Latch latch(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * step;
+    const std::size_t hi = std::min(end, lo + step);
+    pool().submit([&fn, &latch, lo, hi] {
+      t_inside_parallel = true;
+      std::exception_ptr err;
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      t_inside_parallel = false;
+      latch.count_down(err);
+    });
+  }
+  latch.wait();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+double parallel_sum(std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& fn,
+                    std::size_t grain) {
+  if (begin >= end) return 0.0;
+  const std::size_t total = end - begin;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (total + grain - 1) / grain;
+  std::vector<double> partials(chunks, 0.0);
+  parallel_for_chunks(
+      0, chunks,
+      [&](std::size_t clo, std::size_t chi) {
+        for (std::size_t c = clo; c < chi; ++c) {
+          const std::size_t lo = begin + c * grain;
+          const std::size_t hi = std::min(end, lo + grain);
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
+          partials[c] = acc;
+        }
+      },
+      1);
+  double total_sum = 0.0;
+  for (double p : partials) total_sum += p;  // fixed order => deterministic
+  return total_sum;
+}
+
+}  // namespace odonn

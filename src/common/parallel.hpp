@@ -1,0 +1,44 @@
+// Shared thread pool and deterministic parallel loops.
+//
+// odonn parallelizes at two levels: across samples in a mini-batch (training)
+// and across rows of large transforms (FFT columns, kernels). Both go through
+// parallel_for, which chunks an index range over a process-wide pool.
+// Reductions use per-chunk partials combined in chunk order so results are
+// bitwise independent of thread scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace odonn {
+
+/// Number of worker threads in the shared pool (>= 1). Honors
+/// ODONN_THREADS if set, else hardware_concurrency().
+std::size_t thread_count();
+
+/// Overrides the pool size; must be called before the first parallel_for
+/// (later calls throw, the pool is fixed once built).
+void set_thread_count(std::size_t n);
+
+/// Runs fn(i) for i in [begin, end) across the pool. `grain` is the minimum
+/// number of iterations per task; small ranges run inline on the caller.
+/// fn must not throw across threads (exceptions are captured and rethrown
+/// on the caller after the loop completes, first-chunk-first).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) — lets the body hoist
+/// per-chunk setup (scratch buffers, RNG streams).
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 1);
+
+/// Deterministic sum-reduction: partials are produced per chunk and summed
+/// in ascending chunk order regardless of completion order.
+double parallel_sum(std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& fn,
+                    std::size_t grain = 64);
+
+}  // namespace odonn

@@ -1,0 +1,37 @@
+#include "data/augment.hpp"
+
+#include "common/error.hpp"
+#include "data/transform.hpp"
+
+namespace odonn::data {
+
+MatrixD augment_image(const MatrixD& image, Rng& rng,
+                      const AugmentOptions& options) {
+  ODONN_CHECK(!image.empty(), "augment_image: empty image");
+  const double angle = rng.uniform(-options.max_rotate, options.max_rotate);
+  const double scale =
+      1.0 + rng.uniform(-options.scale_jitter, options.scale_jitter);
+  const double dx = rng.uniform(-options.max_shift, options.max_shift);
+  const double dy = rng.uniform(-options.max_shift, options.max_shift);
+  MatrixD out = affine_warp(image, angle, scale, dx, dy);
+  if (options.noise_sigma > 0.0) {
+    out = add_noise(out, options.noise_sigma, rng);
+  }
+  return out;
+}
+
+Dataset augment_dataset(const Dataset& dataset, Rng& rng,
+                        const AugmentOptions& options) {
+  ODONN_CHECK(!dataset.empty(), "augment_dataset: empty dataset");
+  std::vector<MatrixD> images;
+  std::vector<std::size_t> labels;
+  images.reserve(dataset.size());
+  labels.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    images.push_back(augment_image(dataset.image(i), rng, options));
+    labels.push_back(dataset.label(i));
+  }
+  return Dataset(std::move(images), std::move(labels), dataset.num_classes());
+}
+
+}  // namespace odonn::data

@@ -1,0 +1,27 @@
+// Training-time augmentation: random affine jitter + noise applied per
+// epoch, matching the style of variation the synthetic generators bake in
+// but applicable to any dataset (including real IDX files).
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace odonn::data {
+
+struct AugmentOptions {
+  double max_rotate = 0.15;   ///< [rad]
+  double scale_jitter = 0.1;  ///< multiplicative
+  double max_shift = 1.5;     ///< [pixels]
+  double noise_sigma = 0.02;
+};
+
+/// One randomly augmented view of an image.
+MatrixD augment_image(const MatrixD& image, Rng& rng,
+                      const AugmentOptions& options = {});
+
+/// A fully augmented copy of the dataset (fresh draws per call — call once
+/// per epoch for epoch-wise augmentation).
+Dataset augment_dataset(const Dataset& dataset, Rng& rng,
+                        const AugmentOptions& options = {});
+
+}  // namespace odonn::data

@@ -1,0 +1,81 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace odonn::data {
+
+Dataset::Dataset(std::vector<MatrixD> images, std::vector<std::size_t> labels,
+                 std::size_t num_classes)
+    : images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  ODONN_CHECK(images_.size() == labels_.size(),
+              "dataset: image/label count mismatch");
+  ODONN_CHECK(num_classes_ >= 1, "dataset: need at least one class");
+  for (std::size_t lbl : labels_) {
+    ODONN_CHECK(lbl < num_classes_, "dataset: label out of range");
+  }
+  if (!images_.empty()) {
+    const std::size_t rows = images_.front().rows();
+    const std::size_t cols = images_.front().cols();
+    for (const auto& img : images_) {
+      ODONN_CHECK_SHAPE(img.rows() == rows && img.cols() == cols,
+                        "dataset: inconsistent image shapes");
+    }
+  }
+}
+
+const MatrixD& Dataset::image(std::size_t i) const {
+  ODONN_CHECK(i < images_.size(), "dataset: index out of range");
+  return images_[i];
+}
+
+std::size_t Dataset::label(std::size_t i) const {
+  ODONN_CHECK(i < labels_.size(), "dataset: index out of range");
+  return labels_[i];
+}
+
+Dataset Dataset::subset(std::size_t begin, std::size_t count) const {
+  ODONN_CHECK(begin + count <= images_.size(), "dataset: subset out of range");
+  std::vector<MatrixD> images(images_.begin() + static_cast<std::ptrdiff_t>(begin),
+                              images_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  std::vector<std::size_t> labels(labels_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  labels_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  return Dataset(std::move(images), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           Rng& rng) const {
+  ODONN_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0,
+              "dataset: train_fraction must be in [0, 1]");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+
+  std::vector<MatrixD> train_images, test_images;
+  std::vector<std::size_t> train_labels, test_labels;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t idx = order[i];
+    if (i < train_count) {
+      train_images.push_back(images_[idx]);
+      train_labels.push_back(labels_[idx]);
+    } else {
+      test_images.push_back(images_[idx]);
+      test_labels.push_back(labels_[idx]);
+    }
+  }
+  return {Dataset(std::move(train_images), std::move(train_labels), num_classes_),
+          Dataset(std::move(test_images), std::move(test_labels), num_classes_)};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (std::size_t lbl : labels_) ++hist[lbl];
+  return hist;
+}
+
+}  // namespace odonn::data

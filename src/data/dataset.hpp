@@ -1,0 +1,44 @@
+// In-memory labeled image dataset. Images are grayscale matrices in [0, 1];
+// labels are class indices. Real IDX files (MNIST and friends) load through
+// data/idx.hpp; synthetic stand-ins come from data/synthetic.hpp.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::vector<MatrixD> images, std::vector<std::size_t> labels,
+          std::size_t num_classes);
+
+  std::size_t size() const { return images_.size(); }
+  bool empty() const { return images_.empty(); }
+  std::size_t num_classes() const { return num_classes_; }
+
+  const MatrixD& image(std::size_t i) const;
+  std::size_t label(std::size_t i) const;
+
+  /// Contiguous slice [begin, begin+count).
+  Dataset subset(std::size_t begin, std::size_t count) const;
+
+  /// Deterministic shuffle + split into (train, test) with `train_fraction`
+  /// of the samples in train.
+  std::pair<Dataset, Dataset> split(double train_fraction, Rng& rng) const;
+
+  /// Per-class sample counts (used by tests to check balance).
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  std::vector<MatrixD> images_;
+  std::vector<std::size_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace odonn::data

@@ -1,0 +1,27 @@
+// IDX file format (the MNIST container format) reader/writer. If the real
+// MNIST/FMNIST/KMNIST/EMNIST files are present on disk the experiment
+// drivers load them through this module; otherwise they fall back to the
+// synthetic generators. The writer exists for round-trip tests and for
+// exporting synthetic datasets.
+//
+// Format: big-endian; magic 0x00000803 for u8 image tensors (count, rows,
+// cols), 0x00000801 for u8 label vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace odonn::data {
+
+/// Loads an images file + labels file pair into a Dataset (pixels scaled to
+/// [0, 1]). Throws IoError on missing files, bad magic or truncation.
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t num_classes = 10);
+
+/// Writes a dataset to the IDX pair (pixels quantized to u8).
+void write_idx(const Dataset& dataset, const std::string& images_path,
+               const std::string& labels_path);
+
+}  // namespace odonn::data

@@ -1,0 +1,124 @@
+#include "donn/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::donn {
+
+namespace {
+
+bool overlaps(const DetectorRegion& a, const DetectorRegion& b) {
+  const bool row_sep = a.r0 + a.size <= b.r0 || b.r0 + b.size <= a.r0;
+  const bool col_sep = a.c0 + a.size <= b.c0 || b.c0 + b.size <= a.c0;
+  return !(row_sep || col_sep);
+}
+
+}  // namespace
+
+DetectorLayout::DetectorLayout(std::size_t grid_n,
+                               std::vector<DetectorRegion> regions)
+    : grid_n_(grid_n), regions_(std::move(regions)) {
+  ODONN_CHECK(grid_n_ >= 2, "detector: grid too small");
+  ODONN_CHECK(!regions_.empty(), "detector: no regions");
+  for (const auto& region : regions_) {
+    ODONN_CHECK(region.size >= 1, "detector: empty region");
+    if (region.r0 + region.size > grid_n_ ||
+        region.c0 + region.size > grid_n_) {
+      throw ConfigError("detector region outside the plane");
+    }
+  }
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions_.size(); ++j) {
+      if (overlaps(regions_[i], regions_[j])) {
+        throw ConfigError("detector regions overlap");
+      }
+    }
+  }
+}
+
+DetectorLayout DetectorLayout::evenly_spaced(std::size_t grid_n,
+                                             std::size_t num_classes,
+                                             std::size_t region_size) {
+  ODONN_CHECK(num_classes >= 1, "detector: need at least one class");
+  ODONN_CHECK(region_size >= 1, "detector: region size must be >= 1");
+
+  // Choose the most-square factorization r x c with r <= c covering all
+  // classes (10 -> 2 x 5, 4 -> 2 x 2, 7 -> 2 x 4 with 7 used).
+  std::size_t rows = static_cast<std::size_t>(
+      std::floor(std::sqrt(static_cast<double>(num_classes))));
+  rows = std::max<std::size_t>(rows, 1);
+  while (rows > 1 && num_classes % rows != 0) --rows;
+  if (rows == 1 && num_classes > 3) {
+    // Prime class count: use a near-square grid with unused trailing cells.
+    rows = static_cast<std::size_t>(
+        std::floor(std::sqrt(static_cast<double>(num_classes))));
+  }
+  const std::size_t cols = (num_classes + rows - 1) / rows;
+
+  std::vector<DetectorRegion> regions;
+  regions.reserve(num_classes);
+  for (std::size_t idx = 0; idx < num_classes; ++idx) {
+    const std::size_t gr = idx / cols;
+    const std::size_t gc = idx % cols;
+    // Region centers at fractions (g+1)/(count+1) of the plane.
+    const double cr = static_cast<double>(gr + 1) /
+                      static_cast<double>(rows + 1) *
+                      static_cast<double>(grid_n);
+    const double cc = static_cast<double>(gc + 1) /
+                      static_cast<double>(cols + 1) *
+                      static_cast<double>(grid_n);
+    const long r0 = std::lround(cr - static_cast<double>(region_size) / 2.0);
+    const long c0 = std::lround(cc - static_cast<double>(region_size) / 2.0);
+    if (r0 < 0 || c0 < 0 ||
+        static_cast<std::size_t>(r0) + region_size > grid_n ||
+        static_cast<std::size_t>(c0) + region_size > grid_n) {
+      throw ConfigError("detector regions do not fit on the plane; "
+                        "reduce region_size or class count");
+    }
+    regions.push_back({static_cast<std::size_t>(r0),
+                       static_cast<std::size_t>(c0), region_size});
+  }
+  return DetectorLayout(grid_n, std::move(regions));
+}
+
+std::vector<double> DetectorLayout::readout(const MatrixD& intensity) const {
+  ODONN_CHECK_SHAPE(intensity.rows() == grid_n_ && intensity.cols() == grid_n_,
+                    "detector readout: intensity shape mismatch");
+  std::vector<double> sums(regions_.size(), 0.0);
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    const auto& region = regions_[k];
+    double acc = 0.0;
+    for (std::size_t r = region.r0; r < region.r0 + region.size; ++r) {
+      for (std::size_t c = region.c0; c < region.c0 + region.size; ++c) {
+        acc += intensity(r, c);
+      }
+    }
+    sums[k] = acc;
+  }
+  return sums;
+}
+
+MatrixD DetectorLayout::scatter(const std::vector<double>& grad_sums) const {
+  ODONN_CHECK_SHAPE(grad_sums.size() == regions_.size(),
+                    "detector scatter: class count mismatch");
+  MatrixD out(grid_n_, grid_n_, 0.0);
+  for (std::size_t k = 0; k < regions_.size(); ++k) {
+    const auto& region = regions_[k];
+    for (std::size_t r = region.r0; r < region.r0 + region.size; ++r) {
+      for (std::size_t c = region.c0; c < region.c0 + region.size; ++c) {
+        out(r, c) += grad_sums[k];
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t DetectorLayout::predict(const MatrixD& intensity) const {
+  const auto sums = readout(intensity);
+  return static_cast<std::size_t>(
+      std::max_element(sums.begin(), sums.end()) - sums.begin());
+}
+
+}  // namespace odonn::donn

@@ -1,0 +1,53 @@
+// Detector plane with per-class readout regions (§III-A, §IV-A1): the class
+// whose region accumulates the highest total intensity is the prediction.
+// The paper places ten 20x20 regions evenly on a 200x200 plane; the layout
+// here generalizes to any class count / grid and scales region placement
+// proportionally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace odonn::donn {
+
+struct DetectorRegion {
+  std::size_t r0 = 0, c0 = 0;  ///< top-left corner
+  std::size_t size = 0;        ///< square side length
+};
+
+class DetectorLayout {
+ public:
+  /// Arranges `num_classes` square regions of side `region_size` on an
+  /// n x n plane in an r x c grid (r*c >= num_classes, r chosen near
+  /// sqrt(num_classes)), with centers evenly spaced. Throws ConfigError if
+  /// the regions cannot fit without overlapping.
+  static DetectorLayout evenly_spaced(std::size_t grid_n,
+                                      std::size_t num_classes,
+                                      std::size_t region_size);
+
+  /// Custom layout; validates that regions are inside the plane and
+  /// pairwise disjoint.
+  DetectorLayout(std::size_t grid_n, std::vector<DetectorRegion> regions);
+
+  std::size_t grid_n() const { return grid_n_; }
+  std::size_t num_classes() const { return regions_.size(); }
+  const std::vector<DetectorRegion>& regions() const { return regions_; }
+
+  /// Per-class intensity sums (the DONN's raw output vector).
+  std::vector<double> readout(const MatrixD& intensity) const;
+
+  /// Adjoint of readout: scatters per-class gradients uniformly over their
+  /// regions; entries outside any region are zero.
+  MatrixD scatter(const std::vector<double>& grad_sums) const;
+
+  /// argmax of readout (ties broken toward the lower class index).
+  std::size_t predict(const MatrixD& intensity) const;
+
+ private:
+  std::size_t grid_n_;
+  std::vector<DetectorRegion> regions_;
+};
+
+}  // namespace odonn::donn

@@ -1,0 +1,61 @@
+#include "donn/diffmod.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::donn {
+
+DiffMod::DiffMod(std::shared_ptr<const optics::Propagator> propagator,
+                 const MatrixD* phase)
+    : propagator_(std::move(propagator)), phase_(phase) {
+  ODONN_CHECK(propagator_ != nullptr, "DiffMod: null propagator");
+  ODONN_CHECK(phase_ != nullptr, "DiffMod: null phase mask");
+  ODONN_CHECK_SHAPE(phase_->rows() == propagator_->grid().n &&
+                        phase_->cols() == propagator_->grid().n,
+                    "DiffMod: phase mask shape must match grid");
+}
+
+optics::Field DiffMod::forward(const optics::Field& input,
+                               DiffModCache& cache) const {
+  cache.propagated = propagator_->forward(input);
+  const MatrixD& phi = *phase_;
+  MatrixC out(phi.rows(), phi.cols());
+  const MatrixC& prop = cache.propagated.values();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::complex<double> w(std::cos(phi[i]), std::sin(phi[i]));
+    out[i] = prop[i] * w;
+  }
+  return optics::Field(input.grid(), std::move(out));
+}
+
+optics::Field DiffMod::forward(const optics::Field& input) const {
+  DiffModCache cache;
+  return forward(input, cache);
+}
+
+optics::Field DiffMod::backward(const optics::Field& grad_output,
+                                const DiffModCache& cache,
+                                MatrixD& phase_grad) const {
+  const MatrixD& phi = *phase_;
+  ODONN_CHECK_SHAPE(phase_grad.same_shape(phi),
+                    "DiffMod backward: phase gradient shape mismatch");
+  const MatrixC& prop = cache.propagated.values();
+  const MatrixC& gout = grad_output.values();
+  ODONN_CHECK_SHAPE(prop.same_shape(gout),
+                    "DiffMod backward: cache/grad shape mismatch");
+
+  MatrixC grad_prop(phi.rows(), phi.cols());
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    const std::complex<double> w(std::cos(phi[i]), std::sin(phi[i]));
+    // g(w) = conj(f_prop) * g(out); dL/dphi = Re(i * w * conj(g(w))).
+    const std::complex<double> gw = std::conj(prop[i]) * gout[i];
+    phase_grad[i] += (std::complex<double>(0.0, 1.0) * w * std::conj(gw)).real();
+    // g(f_prop) = conj(w) * g(out).
+    grad_prop[i] = std::conj(w) * gout[i];
+  }
+  return propagator_->adjoint(
+      optics::Field(grad_output.grid(), std::move(grad_prop)));
+}
+
+}  // namespace odonn::donn

@@ -1,0 +1,52 @@
+// DiffMod — one diffractive-layer computation (paper §III-A):
+//   DiffMod(f, W) = L(f, z) * exp(i W)
+// i.e. free-space propagation over distance z followed by elementwise phase
+// modulation. Forward caches the propagated field so the hand-derived
+// backward can compute both the input gradient and the phase gradient:
+//   g(w)      = conj(f_prop) .* g(out),   w = exp(i phi)
+//   dL/dphi   = Re(i * w * conj(g(w)))
+//   g(f_prop) = conj(w) .* g(out)
+//   g(f_in)   = P^*(g(f_prop))
+// with the complex gradient convention g(x) = dL/dRe(x) + i dL/dIm(x)
+// (DESIGN.md §4).
+#pragma once
+
+#include <memory>
+
+#include "optics/propagate.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::donn {
+
+/// Per-sample forward cache for one DiffMod application.
+struct DiffModCache {
+  optics::Field propagated;  ///< field after free space, before modulation
+};
+
+class DiffMod {
+ public:
+  /// The propagator is shared (all layers in the paper use the same z), the
+  /// phase mask is referenced — it lives in the model's parameter store.
+  DiffMod(std::shared_ptr<const optics::Propagator> propagator,
+          const MatrixD* phase);
+
+  /// out = P(in) .* exp(i phi); fills `cache` for the backward pass.
+  optics::Field forward(const optics::Field& input, DiffModCache& cache) const;
+
+  /// Inference-only forward (no cache retention).
+  optics::Field forward(const optics::Field& input) const;
+
+  /// Consumes grad wrt the layer output; accumulates dL/dphi into
+  /// `phase_grad` and returns grad wrt the layer input.
+  optics::Field backward(const optics::Field& grad_output,
+                         const DiffModCache& cache,
+                         MatrixD& phase_grad) const;
+
+  const MatrixD& phase() const { return *phase_; }
+
+ private:
+  std::shared_ptr<const optics::Propagator> propagator_;
+  const MatrixD* phase_;
+};
+
+}  // namespace odonn::donn

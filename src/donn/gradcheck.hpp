@@ -1,0 +1,20 @@
+// Finite-difference gradient checking used throughout the test suite to
+// validate every hand-derived backward pass.
+#pragma once
+
+#include <functional>
+
+#include "tensor/matrix.hpp"
+
+namespace odonn::donn {
+
+/// Central-difference gradient of a scalar function of a matrix, evaluated
+/// entry by entry: (f(x+h e_i) - f(x - h e_i)) / (2h). O(size) function
+/// evaluations — keep instances small.
+MatrixD numerical_gradient(const std::function<double(const MatrixD&)>& f,
+                           const MatrixD& at, double h = 1e-5);
+
+/// Relative error max|a-b| / (max|a|,|b|,1) between two gradients.
+double gradient_rel_error(const MatrixD& analytic, const MatrixD& numeric);
+
+}  // namespace odonn::donn

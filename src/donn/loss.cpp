@@ -1,0 +1,97 @@
+#include "donn/loss.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::donn {
+
+LossType parse_loss(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "softmax_mse" || low == "mse") return LossType::SoftmaxMse;
+  if (low == "cross_entropy" || low == "ce") return LossType::CrossEntropy;
+  throw ConfigError("unknown loss '" + name + "'");
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  ODONN_CHECK(!logits.empty(), "softmax of empty vector");
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - peak);
+    total += out[i];
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+LossResult evaluate_loss(const std::vector<double>& sums, std::size_t label,
+                         const LossOptions& options) {
+  const std::size_t n = sums.size();
+  ODONN_CHECK(n >= 2, "loss: need at least two classes");
+  ODONN_CHECK(label < n, "loss: label out of range");
+
+  LossResult result;
+  result.predicted = static_cast<std::size_t>(
+      std::max_element(sums.begin(), sums.end()) - sums.begin());
+
+  // Normalize raw sums into logits z; remember the chain factors.
+  std::vector<double> z(n);
+  double total = 0.0;
+  for (double s : sums) total += s;
+  const double scale = (options.norm == NormMode::TotalPower)
+                           ? static_cast<double>(n) / (total + options.eps)
+                           : 1.0;
+  for (std::size_t i = 0; i < n; ++i) z[i] = sums[i] * scale;
+
+  const std::vector<double> p = softmax(z);
+
+  // dL/dz.
+  std::vector<double> gz(n, 0.0);
+  if (options.type == LossType::SoftmaxMse) {
+    // l = sum_c (p_c - t_c)^2; dl/dz_k = p_k (e_k - sum_c e_c p_c),
+    // e_c = 2 (p_c - t_c).
+    double loss = 0.0;
+    double dot = 0.0;
+    std::vector<double> e(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const double t = (c == label) ? 1.0 : 0.0;
+      const double d = p[c] - t;
+      loss += d * d;
+      e[c] = 2.0 * d;
+      dot += e[c] * p[c];
+    }
+    for (std::size_t k = 0; k < n; ++k) gz[k] = p[k] * (e[k] - dot);
+    result.loss = loss;
+  } else {
+    // l = -log p_label; dl/dz = p - onehot.
+    const double pl = std::max(p[label], 1e-300);
+    result.loss = -std::log(pl);
+    for (std::size_t k = 0; k < n; ++k) {
+      gz[k] = p[k] - ((k == label) ? 1.0 : 0.0);
+    }
+  }
+
+  // Chain through the normalization z_i = scale(s) * s_i.
+  result.grad_sums.assign(n, 0.0);
+  if (options.norm == NormMode::TotalPower) {
+    // dz_i/ds_j = scale * delta_ij - n * s_i / (total+eps)^2
+    //           = scale * delta_ij - z_i / (total+eps).
+    double gz_dot_z = 0.0;
+    for (std::size_t i = 0; i < n; ++i) gz_dot_z += gz[i] * z[i];
+    const double inv_total = 1.0 / (total + options.eps);
+    for (std::size_t j = 0; j < n; ++j) {
+      result.grad_sums[j] = scale * gz[j] - inv_total * gz_dot_z;
+    }
+  } else {
+    result.grad_sums = gz;
+  }
+  return result;
+}
+
+}  // namespace odonn::donn

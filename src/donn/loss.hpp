@@ -1,0 +1,47 @@
+// Classification losses on detector readouts.
+//
+// The paper trains with MSE on softmaxed detector sums (§III-A):
+//   l = || Softmax(I) - t ||^2
+// Raw detector sums can be numerically tiny (the field power is normalized),
+// so the readout vector is first normalized; NormMode::TotalPower rescales
+// sums to num_classes * s / (sum(s) + eps), which keeps softmax in a useful
+// dynamic range without changing argmax. Cross-entropy is provided as an
+// extension used by ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace odonn::donn {
+
+enum class LossType { SoftmaxMse, CrossEntropy };
+
+enum class NormMode {
+  None,        ///< use raw intensity sums as logits
+  TotalPower,  ///< logits = C * s / (sum(s) + eps)
+};
+
+struct LossOptions {
+  LossType type = LossType::SoftmaxMse;
+  NormMode norm = NormMode::TotalPower;
+  double eps = 1e-12;
+};
+
+LossType parse_loss(const std::string& name);
+
+struct LossResult {
+  double loss = 0.0;
+  std::vector<double> grad_sums;  ///< dL/d(raw detector sums)
+  std::size_t predicted = 0;      ///< argmax of the raw sums
+};
+
+/// Computes loss, prediction and gradient wrt the *raw* detector sums for a
+/// one-hot target `label`.
+LossResult evaluate_loss(const std::vector<double>& sums, std::size_t label,
+                         const LossOptions& options = {});
+
+/// Softmax of a vector (stable; exposed for tests and the 2pi optimizer).
+std::vector<double> softmax(const std::vector<double>& logits);
+
+}  // namespace odonn::donn

@@ -1,0 +1,157 @@
+#include "donn/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "donn/phase_mask.hpp"
+
+namespace odonn::donn {
+
+namespace {
+
+/// Paper mixing ratio lambda*z/(n*pitch^2): how far one pixel's diffraction
+/// cone spreads relative to the aperture after one inter-layer hop.
+constexpr double kPaperMixingRatio = 0.5735;
+
+}  // namespace
+
+DonnConfig DonnConfig::paper() { return DonnConfig{}; }
+
+DonnConfig DonnConfig::scaled(std::size_t grid_n) {
+  ODONN_CHECK(grid_n >= 16, "scaled config needs grid_n >= 16");
+  DonnConfig cfg;
+  cfg.grid.n = grid_n;
+  // lambda*z/(n*pitch^2) = kPaperMixingRatio  =>  pitch as below; at n=200
+  // this recovers the paper's 36 um pixels exactly.
+  cfg.grid.pitch = std::sqrt(cfg.wavelength * cfg.distance /
+                             (kPaperMixingRatio * static_cast<double>(grid_n)));
+  cfg.detector_size = std::max<std::size_t>(2, grid_n / 10);
+  return cfg;
+}
+
+DonnModel::DonnModel(const DonnConfig& config, Rng& rng)
+    : config_(config),
+      propagator_(std::make_shared<const optics::Propagator>(
+          config.grid,
+          optics::PropagatorOptions{
+              {config.kernel, config.wavelength, config.distance},
+              config.pad2x})),
+      detector_(DetectorLayout::evenly_spaced(config.grid.n,
+                                              config.num_classes,
+                                              config.detector_size)) {
+  ODONN_CHECK(config.num_layers >= 1, "model needs at least one layer");
+  phases_.reserve(config.num_layers);
+  for (std::size_t i = 0; i < config.num_layers; ++i) {
+    phases_.push_back(config.init == PhaseInit::Flat
+                          ? flat_phase_mask(config.grid.n, rng)
+                          : random_phase_mask(config.grid.n, rng));
+  }
+}
+
+void DonnModel::set_phases(std::vector<MatrixD> phases) {
+  ODONN_CHECK_SHAPE(phases.size() == phases_.size(),
+                    "set_phases: layer count mismatch");
+  for (const auto& phi : phases) {
+    ODONN_CHECK_SHAPE(phi.rows() == config_.grid.n && phi.cols() == config_.grid.n,
+                      "set_phases: mask shape mismatch");
+  }
+  phases_ = std::move(phases);
+  apply_masks();
+}
+
+void DonnModel::set_masks(std::vector<sparsify::SparsityMask> masks) {
+  if (!masks.empty()) {
+    ODONN_CHECK_SHAPE(masks.size() == phases_.size(),
+                      "set_masks: layer count mismatch");
+    for (const auto& m : masks) {
+      ODONN_CHECK_SHAPE(m.rows() == config_.grid.n && m.cols() == config_.grid.n,
+                        "set_masks: mask shape mismatch");
+    }
+  }
+  masks_ = std::move(masks);
+  apply_masks();
+}
+
+void DonnModel::clear_masks() { masks_.clear(); }
+
+void DonnModel::apply_masks() {
+  if (masks_.empty()) return;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    sparsify::apply_mask(phases_[i], masks_[i]);
+  }
+}
+
+void DonnModel::mask_gradients(std::vector<MatrixD>& grads) const {
+  if (masks_.empty()) return;
+  ODONN_CHECK_SHAPE(grads.size() == masks_.size(),
+                    "mask_gradients: layer count mismatch");
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    sparsify::apply_mask(grads[i], masks_[i]);
+  }
+}
+
+optics::Field DonnModel::propagate_through(const optics::Field& input) const {
+  optics::Field field = input;
+  for (const auto& phi : phases_) {
+    DiffMod layer(propagator_, &phi);
+    field = layer.forward(field);
+  }
+  return propagator_->forward(field);
+}
+
+MatrixD DonnModel::output_intensity(const optics::Field& input) const {
+  return propagate_through(input).intensity();
+}
+
+std::vector<double> DonnModel::detector_sums(const optics::Field& input) const {
+  return detector_.readout(output_intensity(input));
+}
+
+std::size_t DonnModel::predict(const optics::Field& input) const {
+  return detector_.predict(output_intensity(input));
+}
+
+std::vector<MatrixD> DonnModel::zero_gradients() const {
+  std::vector<MatrixD> grads;
+  grads.reserve(phases_.size());
+  for (const auto& phi : phases_) {
+    grads.emplace_back(phi.rows(), phi.cols(), 0.0);
+  }
+  return grads;
+}
+
+DonnModel::ForwardBackwardResult DonnModel::forward_backward(
+    const optics::Field& input, std::size_t label,
+    std::vector<MatrixD>& phase_grads, const LossOptions& loss_options) const {
+  ODONN_CHECK_SHAPE(phase_grads.size() == phases_.size(),
+                    "forward_backward: gradient count mismatch");
+
+  // Forward with per-layer caches.
+  std::vector<DiffModCache> caches(phases_.size());
+  optics::Field field = input;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    DiffMod layer(propagator_, &phases_[i]);
+    field = layer.forward(field, caches[i]);
+  }
+  const optics::Field at_detector = propagator_->forward(field);
+  const MatrixD intensity = at_detector.intensity();
+  const auto sums = detector_.readout(intensity);
+  const LossResult lr = evaluate_loss(sums, label, loss_options);
+
+  // Backward: dL/dI -> g(f) = 2 f dL/dI -> adjoint propagation -> layers.
+  const MatrixD grad_intensity = detector_.scatter(lr.grad_sums);
+  MatrixC gf(intensity.rows(), intensity.cols());
+  const MatrixC& fdet = at_detector.values();
+  for (std::size_t i = 0; i < gf.size(); ++i) {
+    gf[i] = 2.0 * fdet[i] * grad_intensity[i];
+  }
+  optics::Field grad = propagator_->adjoint(
+      optics::Field(input.grid(), std::move(gf)));
+  for (std::size_t i = phases_.size(); i-- > 0;) {
+    DiffMod layer(propagator_, &phases_[i]);
+    grad = layer.backward(grad, caches[i], phase_grads[i]);
+  }
+  return {lr.loss, lr.predicted};
+}
+
+}  // namespace odonn::donn

@@ -1,0 +1,120 @@
+// DonnModel — the full diffractive optical neural network (paper §III-A,
+// Eq. 2): source -> [free space -> phase mask] x N -> free space -> detector.
+//
+// Parameters are the per-layer phase masks; optional sparsity masks freeze
+// pixels at zero (§III-C). Forward/backward are hand-derived (DESIGN.md §4)
+// and validated against finite differences in tests.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "donn/detector.hpp"
+#include "donn/diffmod.hpp"
+#include "donn/loss.hpp"
+#include "optics/encode.hpp"
+#include "optics/propagate.hpp"
+#include "sparsify/mask.hpp"
+
+namespace odonn::donn {
+
+enum class PhaseInit {
+  /// Flat surface (pi + small noise): trained roughness reflects learned
+  /// structure; matches the paper's baseline behavior under 2*pi
+  /// optimization (<2% reduction). Default.
+  Flat,
+  /// Classic uniform [0, 2*pi) initialization (kept for ablation).
+  Uniform,
+};
+
+struct DonnConfig {
+  optics::GridSpec grid{optics::PaperSystem::kGridSize,
+                        optics::PaperSystem::kPixelPitch};
+  double wavelength = optics::PaperSystem::kWavelength;
+  double distance = optics::PaperSystem::kLayerDistance;
+  optics::KernelType kernel = optics::KernelType::AngularSpectrum;
+  bool pad2x = false;
+  std::size_t num_layers = optics::PaperSystem::kNumLayers;
+  std::size_t num_classes = 10;
+  std::size_t detector_size = optics::PaperSystem::kDetectorSize;
+  PhaseInit init = PhaseInit::Flat;
+
+  /// Exact paper geometry (§IV-A1).
+  static DonnConfig paper();
+
+  /// CPU-sized geometry with grid_n samples per side. Pixel pitch is chosen
+  /// so the diffractive mixing ratio lambda*z/(n*pitch^2) matches the
+  /// paper's 0.574, and the detector regions keep the paper's 10% linear
+  /// fill — so the reduced system behaves like a shrunk paper system rather
+  /// than a different optical regime.
+  static DonnConfig scaled(std::size_t grid_n);
+};
+
+class DonnModel {
+ public:
+  /// Initializes all phase masks uniformly in [0, 2*pi).
+  DonnModel(const DonnConfig& config, Rng& rng);
+
+  const DonnConfig& config() const { return config_; }
+  std::size_t num_layers() const { return phases_.size(); }
+  const DetectorLayout& detector() const { return detector_; }
+  const optics::Propagator& propagator() const { return *propagator_; }
+
+  std::vector<MatrixD>& phases() { return phases_; }
+  const std::vector<MatrixD>& phases() const { return phases_; }
+  void set_phases(std::vector<MatrixD> phases);
+
+  /// Installs per-layer sparsity masks (empty vector clears). Masks are
+  /// applied to the phases immediately and gradients through masked pixels
+  /// are zeroed by mask_gradients().
+  void set_masks(std::vector<sparsify::SparsityMask> masks);
+  void clear_masks();
+  bool has_masks() const { return !masks_.empty(); }
+  const std::vector<sparsify::SparsityMask>& masks() const { return masks_; }
+
+  /// Re-zeroes masked phase pixels (call after optimizer steps).
+  void apply_masks();
+
+  /// Zeroes gradient entries of masked-off pixels.
+  void mask_gradients(std::vector<MatrixD>& grads) const;
+
+  /// Field at the detector plane.
+  optics::Field propagate_through(const optics::Field& input) const;
+
+  /// Detector-plane intensity |f|^2.
+  MatrixD output_intensity(const optics::Field& input) const;
+
+  /// Raw per-class intensity sums.
+  std::vector<double> detector_sums(const optics::Field& input) const;
+
+  /// argmax class.
+  std::size_t predict(const optics::Field& input) const;
+
+  struct ForwardBackwardResult {
+    double loss = 0.0;
+    std::size_t predicted = 0;
+  };
+
+  /// One-sample forward + backward. Phase gradients are ACCUMULATED into
+  /// `phase_grads` (must be preallocated to the right shapes); the data
+  /// term only — regularizers are added by the trainer. Thread-safe for
+  /// concurrent calls (model state is read-only here).
+  ForwardBackwardResult forward_backward(const optics::Field& input,
+                                         std::size_t label,
+                                         std::vector<MatrixD>& phase_grads,
+                                         const LossOptions& loss_options) const;
+
+  /// Allocates a zeroed gradient set matching the phase shapes.
+  std::vector<MatrixD> zero_gradients() const;
+
+ private:
+  DonnConfig config_;
+  std::shared_ptr<const optics::Propagator> propagator_;
+  std::vector<MatrixD> phases_;
+  std::vector<sparsify::SparsityMask> masks_;
+  DetectorLayout detector_;
+};
+
+}  // namespace odonn::donn

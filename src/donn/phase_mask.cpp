@@ -1,0 +1,47 @@
+#include "donn/phase_mask.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::donn {
+
+MatrixD random_phase_mask(std::size_t n, Rng& rng) {
+  ODONN_CHECK(n >= 1, "random_phase_mask: n must be >= 1");
+  MatrixD phase(n, n);
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    phase[i] = rng.uniform(0.0, 2.0 * M_PI);
+  }
+  return phase;
+}
+
+MatrixD flat_phase_mask(std::size_t n, Rng& rng, double center, double sigma) {
+  ODONN_CHECK(n >= 1, "flat_phase_mask: n must be >= 1");
+  ODONN_CHECK(sigma >= 0.0, "flat_phase_mask: sigma must be >= 0");
+  MatrixD phase(n, n);
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    phase[i] = rng.normal(center, sigma);
+  }
+  return phase;
+}
+
+MatrixD wrap_phase(const MatrixD& phase) {
+  MatrixD out = phase;
+  const double two_pi = 2.0 * M_PI;
+  out.transform([two_pi](double v) {
+    double w = std::fmod(v, two_pi);
+    if (w < 0.0) w += two_pi;
+    return w;
+  });
+  return out;
+}
+
+MatrixC modulation(const MatrixD& phase) {
+  MatrixC out(phase.rows(), phase.cols());
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    out[i] = {std::cos(phase[i]), std::sin(phase[i])};
+  }
+  return out;
+}
+
+}  // namespace odonn::donn

@@ -1,0 +1,35 @@
+// Trainable phase masks (the diffractive layers' weights). A phase mask is a
+// real-valued matrix phi; the optical modulation applied to the field is
+// exp(i * phi). Values are unconstrained during training — the physics is
+// 2*pi-periodic, which §III-D2 exploits for post-training smoothing.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::donn {
+
+/// Uniform random phases in [0, 2*pi) — the classic DONN initialization.
+MatrixD random_phase_mask(std::size_t n, Rng& rng);
+
+/// Flat initialization: constant `center` plus N(0, sigma) jitter. Starts
+/// with a nearly smooth surface, so the trained mask's roughness reflects
+/// learned structure rather than residual initialization noise — this is
+/// what reproduces the paper's "2*pi alone helps a roughness-oblivious
+/// model by <2%" observation (Tables II-V first row). The default center of
+/// 5.0 rad matches the paper's trained masks (Fig. 5 shows phase mass at
+/// high values; §III-D2's mechanism needs sparsified zeros to sit far below
+/// their "high positive" neighbors so that +2*pi closes the gap).
+MatrixD flat_phase_mask(std::size_t n, Rng& rng, double center = 5.0,
+                        double sigma = 0.1);
+
+/// Wraps every value into [0, 2*pi). Inference-equivalent to the input mask.
+MatrixD wrap_phase(const MatrixD& phase);
+
+/// Elementwise complex modulation coefficients exp(i * phi).
+MatrixC modulation(const MatrixD& phase);
+
+}  // namespace odonn::donn

@@ -1,0 +1,51 @@
+#include "donn/reflection.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "donn/phase_mask.hpp"
+
+namespace odonn::donn {
+
+optics::Field reflective_propagate_through(const DonnModel& model,
+                                           const optics::Field& input,
+                                           const ReflectionOptions& options) {
+  ODONN_CHECK(options.amplitude >= 0.0 && options.amplitude < 1.0,
+              "reflection: amplitude must be in [0, 1)");
+  const double r2 = options.amplitude * options.amplitude;
+  const double transmit = std::sqrt(1.0 - r2);
+  const optics::Propagator& prop = model.propagator();
+
+  optics::Field field = input;
+  for (const auto& phi : model.phases()) {
+    // Incident field after the inter-layer hop.
+    optics::Field incident = prop.forward(field);
+    if (r2 > 0.0) {
+      // One round trip: back to the previous surface and forward again —
+      // two additional hops with amplitude r^2.
+      const optics::Field bounce = prop.forward(prop.forward(incident));
+      MatrixC& values = incident.values();
+      const MatrixC& extra = bounce.values();
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] += r2 * extra[i];
+      }
+    }
+    // Transmission through the phase mask.
+    const MatrixC w = modulation(phi);
+    MatrixC out(incident.values().rows(), incident.values().cols());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = transmit * incident.values()[i] * w[i];
+    }
+    field = optics::Field(input.grid(), std::move(out));
+  }
+  return prop.forward(field);
+}
+
+std::size_t reflective_predict(const DonnModel& model,
+                               const optics::Field& input,
+                               const ReflectionOptions& options) {
+  const auto field = reflective_propagate_through(model, input, options);
+  return model.detector().predict(field.intensity());
+}
+
+}  // namespace odonn::donn

@@ -1,0 +1,39 @@
+// First-order interlayer reflection (evaluation-time physics extension).
+//
+// The paper's interpixel-interaction citation [13] (Lou et al., Optics
+// Letters 2023) studies two deployment effects: interpixel interaction
+// (modelled here by donn/crosstalk.hpp) and INTERLAYER REFLECTION — each
+// mask surface reflects a fraction of the incident power back toward the
+// previous surface, where it reflects again and re-arrives delayed by one
+// round trip. To first order in the power reflectance R = r^2, the field
+// arriving at layer i becomes
+//     f_arr = f_inc + r^2 * P(P(f_inc))        (P = one inter-layer hop)
+// and the transmitted amplitude is scaled by t = sqrt(1 - r^2).
+// This is an evaluation model: training stays reflection-free (as in the
+// paper), and benches measure how much accuracy survives deployment on
+// partially reflective hardware.
+#pragma once
+
+#include "donn/model.hpp"
+
+namespace odonn::donn {
+
+struct ReflectionOptions {
+  /// Amplitude reflection coefficient r at every mask surface, in [0, 1).
+  /// Typical uncoated interfaces: r ~ 0.2 (4% power).
+  double amplitude = 0.2;
+};
+
+/// Field at the detector plane including the first-order round-trip bounce
+/// at every diffractive layer. With amplitude == 0 this is exactly
+/// model.propagate_through(input).
+optics::Field reflective_propagate_through(const DonnModel& model,
+                                           const optics::Field& input,
+                                           const ReflectionOptions& options);
+
+/// argmax class under the reflective forward model.
+std::size_t reflective_predict(const DonnModel& model,
+                               const optics::Field& input,
+                               const ReflectionOptions& options);
+
+}  // namespace odonn::donn

@@ -1,0 +1,139 @@
+#include "donn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace odonn::donn {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'D', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_f64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in, const std::string& path) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated model file " + path);
+  return v;
+}
+
+double read_f64(std::istream& in, const std::string& path) {
+  double v = 0.0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw IoError("truncated model file " + path);
+  return v;
+}
+
+}  // namespace
+
+void save_model(const DonnModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot create model file " + path);
+  const DonnConfig& cfg = model.config();
+
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(cfg.grid.n));
+  write_f64(out, cfg.grid.pitch);
+  write_f64(out, cfg.wavelength);
+  write_f64(out, cfg.distance);
+  write_u32(out, static_cast<std::uint32_t>(cfg.kernel));
+  write_u32(out, cfg.pad2x ? 1 : 0);
+  write_u32(out, static_cast<std::uint32_t>(cfg.num_layers));
+  write_u32(out, static_cast<std::uint32_t>(cfg.num_classes));
+  write_u32(out, static_cast<std::uint32_t>(cfg.detector_size));
+
+  write_u32(out, static_cast<std::uint32_t>(model.phases().size()));
+  for (const auto& phi : model.phases()) {
+    out.write(reinterpret_cast<const char*>(phi.data()),
+              static_cast<std::streamsize>(phi.size() * sizeof(double)));
+  }
+  const std::uint8_t has_masks = model.has_masks() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&has_masks), 1);
+  if (has_masks != 0) {
+    for (const auto& mask : model.masks()) {
+      out.write(reinterpret_cast<const char*>(mask.data()),
+                static_cast<std::streamsize>(mask.size()));
+    }
+  }
+  if (!out) throw IoError("failed writing model file " + path);
+}
+
+DonnModel load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open model file " + path);
+
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("not an odonn model file: " + path);
+  }
+  const std::uint32_t version = read_u32(in, path);
+  if (version != kVersion) {
+    throw IoError("unsupported model version in " + path);
+  }
+
+  DonnConfig cfg;
+  cfg.grid.n = read_u32(in, path);
+  cfg.grid.pitch = read_f64(in, path);
+  cfg.wavelength = read_f64(in, path);
+  cfg.distance = read_f64(in, path);
+  const std::uint32_t kernel = read_u32(in, path);
+  if (kernel > 2) throw IoError("invalid kernel id in " + path);
+  cfg.kernel = static_cast<optics::KernelType>(kernel);
+  cfg.pad2x = read_u32(in, path) != 0;
+  cfg.num_layers = read_u32(in, path);
+  cfg.num_classes = read_u32(in, path);
+  cfg.detector_size = read_u32(in, path);
+  if (cfg.num_layers == 0 || cfg.num_layers > 64) {
+    throw IoError("implausible layer count in " + path);
+  }
+
+  const std::uint32_t stored_layers = read_u32(in, path);
+  if (stored_layers != cfg.num_layers) {
+    throw IoError("layer count mismatch in " + path);
+  }
+
+  Rng rng(0);  // immediately overwritten by set_phases
+  DonnModel model(cfg, rng);
+  std::vector<MatrixD> phases;
+  phases.reserve(stored_layers);
+  for (std::uint32_t l = 0; l < stored_layers; ++l) {
+    MatrixD phi(cfg.grid.n, cfg.grid.n);
+    in.read(reinterpret_cast<char*>(phi.data()),
+            static_cast<std::streamsize>(phi.size() * sizeof(double)));
+    if (!in) throw IoError("truncated phase data in " + path);
+    phases.push_back(std::move(phi));
+  }
+
+  std::uint8_t has_masks = 0;
+  in.read(reinterpret_cast<char*>(&has_masks), 1);
+  if (!in) throw IoError("truncated mask flag in " + path);
+  std::vector<sparsify::SparsityMask> masks;
+  if (has_masks != 0) {
+    masks.reserve(stored_layers);
+    for (std::uint32_t l = 0; l < stored_layers; ++l) {
+      sparsify::SparsityMask mask(cfg.grid.n, cfg.grid.n, 1);
+      in.read(reinterpret_cast<char*>(mask.data()),
+              static_cast<std::streamsize>(mask.size()));
+      if (!in) throw IoError("truncated mask data in " + path);
+      masks.push_back(std::move(mask));
+    }
+  }
+  model.set_phases(std::move(phases));
+  model.set_masks(std::move(masks));
+  return model;
+}
+
+}  // namespace odonn::donn

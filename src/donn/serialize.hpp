@@ -1,0 +1,23 @@
+// Model checkpointing: a small self-describing binary container for the
+// DONN configuration, phase masks and optional sparsity masks, so trained
+// models survive process boundaries (examples train once, benches reuse).
+//
+// Format (little-endian, doubles as IEEE-754):
+//   magic "ODNN" | u32 version | config fields | u32 layer count |
+//   per layer: n*n f64 phases | u8 has_masks | per layer: n*n u8 mask
+#pragma once
+
+#include <string>
+
+#include "donn/model.hpp"
+
+namespace odonn::donn {
+
+/// Writes the model (config + phases + masks) to `path`. Throws IoError.
+void save_model(const DonnModel& model, const std::string& path);
+
+/// Reads a model back. Validates magic/version/shape; throws IoError on any
+/// malformed content.
+DonnModel load_model(const std::string& path);
+
+}  // namespace odonn::donn

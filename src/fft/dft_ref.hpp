@@ -1,0 +1,20 @@
+// Naive O(n^2) DFT reference used only by tests to validate the fast paths.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "fft/fft_plan.hpp"
+
+namespace odonn::fft {
+
+/// Direct-evaluation DFT with the same normalization convention as Plan.
+std::vector<Cplx> dft_reference(const std::vector<Cplx>& input, Direction dir);
+
+/// Direct 2-D DFT on a row-major buffer (rows x cols), same convention.
+std::vector<Cplx> dft2d_reference(const std::vector<Cplx>& input,
+                                  std::size_t rows, std::size_t cols,
+                                  Direction dir);
+
+}  // namespace odonn::fft

@@ -1,0 +1,169 @@
+#include "fft/fft_plan.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace odonn::fft {
+
+namespace {
+
+/// Thread-local scratch so concurrent executes never contend or allocate
+/// after warm-up.
+std::vector<Cplx>& scratch(std::size_t n) {
+  thread_local std::vector<Cplx> buf;
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
+std::vector<std::size_t> make_bit_reverse(std::size_t n) {
+  std::vector<std::size_t> rev(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < log2n; ++b) {
+      r = (r << 1) | ((i >> b) & 1U);
+    }
+    rev[i] = r;
+  }
+  return rev;
+}
+
+std::vector<Cplx> make_twiddles(std::size_t n) {
+  std::vector<Cplx> tw(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                         static_cast<double>(n);
+    tw[k] = Cplx(std::cos(angle), std::sin(angle));
+  }
+  return tw;
+}
+
+}  // namespace
+
+std::size_t next_pow2(std::size_t n) {
+  ODONN_CHECK(n >= 1, "next_pow2 requires n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+Plan::Plan(std::size_t n) : n_(n) {
+  ODONN_CHECK(n >= 1, "FFT length must be >= 1");
+  if (is_pow2(n)) {
+    conv_n_ = n;
+    if (n > 1) {
+      twiddles_ = make_twiddles(n);
+      bit_reverse_ = make_bit_reverse(n);
+    }
+    return;
+  }
+
+  // Bluestein setup: convolution length m >= 2n-1, power of two.
+  conv_n_ = next_pow2(2 * n - 1);
+  twiddles_ = make_twiddles(conv_n_);
+  bit_reverse_ = make_bit_reverse(conv_n_);
+
+  bluestein_a_.resize(n);
+  std::vector<Cplx> b(conv_n_, Cplx(0.0, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    // Reduce j^2 mod 2n before converting to an angle: keeps the chirp phase
+    // accurate for large n.
+    const std::size_t j2 = (j * j) % (2 * n);
+    const double angle = M_PI * static_cast<double>(j2) / static_cast<double>(n);
+    bluestein_a_[j] = Cplx(std::cos(angle), -std::sin(angle));  // e^{-i pi j^2/n}
+    const Cplx bj = std::conj(bluestein_a_[j]);                 // e^{+i pi j^2/n}
+    b[j] = bj;
+    if (j != 0) b[conv_n_ - j] = bj;
+  }
+  pow2_transform(b.data(), conv_n_, /*inverse=*/false);
+  bluestein_b_fft_ = std::move(b);
+}
+
+void Plan::pow2_transform(Cplx* data, std::size_t n, bool inverse) const {
+  if (n <= 1) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t stride = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        Cplx w = twiddles_[k * stride];
+        if (inverse) w = std::conj(w);
+        const Cplx even = data[base + k];
+        const Cplx odd = data[base + k + half] * w;
+        data[base + k] = even + odd;
+        data[base + k + half] = even - odd;
+      }
+    }
+  }
+}
+
+void Plan::bluestein_forward(Cplx* data) const {
+  const std::size_t m = conv_n_;
+  auto& u = scratch(m);
+  for (std::size_t j = 0; j < n_; ++j) u[j] = data[j] * bluestein_a_[j];
+  for (std::size_t j = n_; j < m; ++j) u[j] = Cplx(0.0, 0.0);
+
+  pow2_transform(u.data(), m, /*inverse=*/false);
+  for (std::size_t j = 0; j < m; ++j) u[j] *= bluestein_b_fft_[j];
+  pow2_transform(u.data(), m, /*inverse=*/true);
+
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n_; ++k) {
+    data[k] = u[k] * scale * bluestein_a_[k];
+  }
+}
+
+void Plan::execute(Cplx* data, Direction dir) const {
+  if (n_ == 1) return;
+  if (!uses_bluestein()) {
+    pow2_transform(data, n_, dir == Direction::Inverse);
+    if (dir == Direction::Inverse) {
+      const double scale = 1.0 / static_cast<double>(n_);
+      for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+    }
+    return;
+  }
+
+  if (dir == Direction::Forward) {
+    bluestein_forward(data);
+    return;
+  }
+  // Inverse via conjugation: ifft(x) = conj(fft(conj(x))) / n.
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  bluestein_forward(data);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * scale;
+}
+
+void Plan::execute(std::span<Cplx> data, Direction dir) const {
+  ODONN_CHECK_SHAPE(data.size() == n_,
+                    "FFT buffer length does not match plan size");
+  execute(data.data(), dir);
+}
+
+std::shared_ptr<const Plan> plan_for(std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::shared_ptr<const Plan>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  auto plan = std::make_shared<const Plan>(n);
+  cache.emplace(n, plan);
+  return plan;
+}
+
+void transform(std::span<Cplx> data, Direction dir) {
+  plan_for(data.size())->execute(data, dir);
+}
+
+}  // namespace odonn::fft

@@ -1,0 +1,69 @@
+// 1-D complex FFT plans.
+//
+// Two engines:
+//  * iterative radix-2 Cooley–Tukey for power-of-two lengths;
+//  * Bluestein chirp-z for arbitrary lengths (the paper's 200x200 masks are
+//    not powers of two), which re-expresses the DFT as a convolution carried
+//    out with an internal radix-2 plan.
+//
+// Plans are immutable after construction (twiddle/chirp tables only) and are
+// safe to execute concurrently from many threads; per-call scratch lives in
+// thread_local storage. Convention: unnormalized forward, 1/n inverse, i.e.
+//   forward:  X_k = sum_j x_j exp(-2*pi*i*j*k/n)
+//   inverse:  x_j = (1/n) sum_k X_k exp(+2*pi*i*j*k/n)
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace odonn::fft {
+
+using Cplx = std::complex<double>;
+
+enum class Direction { Forward, Inverse };
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+class Plan {
+ public:
+  /// Builds a plan for length n (n >= 1). Radix-2 when n is a power of two,
+  /// Bluestein otherwise.
+  explicit Plan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  bool uses_bluestein() const { return !bluestein_b_fft_.empty(); }
+
+  /// In-place transform of exactly size() elements.
+  void execute(Cplx* data, Direction dir) const;
+  void execute(std::span<Cplx> data, Direction dir) const;
+
+ private:
+  void pow2_transform(Cplx* data, std::size_t n, bool inverse) const;
+  void bluestein_forward(Cplx* data) const;
+
+  std::size_t n_;
+  // Radix-2 twiddles for the plan length itself (pow2 plans) or for the
+  // internal convolution length m (Bluestein plans).
+  std::size_t conv_n_ = 0;                 // pow2 length actually transformed
+  std::vector<Cplx> twiddles_;             // exp(-2*pi*i*k/conv_n), k < conv_n/2
+  std::vector<std::size_t> bit_reverse_;   // permutation for conv_n
+  // Bluestein tables (empty for pow2 plans).
+  std::vector<Cplx> bluestein_a_;          // chirp a_j = exp(-i*pi*j^2/n)
+  std::vector<Cplx> bluestein_b_fft_;      // FFT_m of the extended chirp b
+};
+
+/// Returns a cached shared plan for length n. Thread-safe; plans persist for
+/// the process so repeated propagations reuse twiddle tables.
+std::shared_ptr<const Plan> plan_for(std::size_t n);
+
+/// One-shot convenience over the plan cache.
+void transform(std::span<Cplx> data, Direction dir);
+
+}  // namespace odonn::fft

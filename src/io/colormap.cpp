@@ -1,0 +1,45 @@
+#include "io/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odonn::io {
+
+namespace {
+
+/// Control points sampled from the matplotlib viridis ramp.
+constexpr double kViridis[9][3] = {
+    {0.267, 0.005, 0.329}, {0.283, 0.141, 0.458}, {0.254, 0.265, 0.530},
+    {0.207, 0.372, 0.553}, {0.164, 0.471, 0.558}, {0.128, 0.567, 0.551},
+    {0.135, 0.659, 0.518}, {0.478, 0.821, 0.318}, {0.993, 0.906, 0.144}};
+
+std::uint8_t to_byte(double v) {
+  return static_cast<std::uint8_t>(
+      std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+}
+
+}  // namespace
+
+Rgb viridis(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  const double pos = t * 8.0;
+  const std::size_t idx = std::min<std::size_t>(7, static_cast<std::size_t>(pos));
+  const double frac = pos - static_cast<double>(idx);
+  Rgb out{};
+  for (int ch = 0; ch < 3; ++ch) {
+    const double v = kViridis[idx][ch] * (1.0 - frac) +
+                     kViridis[idx + 1][ch] * frac;
+    out[static_cast<std::size_t>(ch)] = to_byte(v);
+  }
+  return out;
+}
+
+Rgb phase_wheel(double t) {
+  // Smooth cyclic map: offset cosine ramps per channel.
+  const double angle = 2.0 * M_PI * (t - std::floor(t));
+  return {to_byte(0.5 + 0.5 * std::cos(angle)),
+          to_byte(0.5 + 0.5 * std::cos(angle - 2.0 * M_PI / 3.0)),
+          to_byte(0.5 + 0.5 * std::cos(angle - 4.0 * M_PI / 3.0))};
+}
+
+}  // namespace odonn::io

@@ -1,0 +1,14 @@
+// Viridis-like perceptually ordered colormap for phase-mask renders.
+#pragma once
+
+#include "io/pgm.hpp"
+
+namespace odonn::io {
+
+/// Maps t in [0, 1] (clamped) to an RGB color along a viridis-style ramp.
+Rgb viridis(double t);
+
+/// Cyclic colormap for phase values (wraps smoothly at 0 == 2*pi).
+Rgb phase_wheel(double t);
+
+}  // namespace odonn::io

@@ -1,0 +1,43 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace odonn::io {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+  if (!out_) throw IoError("cannot create " + path);
+  ODONN_CHECK(!columns.empty(), "CsvWriter: no columns");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  ODONN_CHECK_SHAPE(cells.size() == columns_, "CsvWriter: cell count mismatch");
+  std::ostringstream line;
+  line.precision(10);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line << ',';
+    line << cells[i];
+  }
+  out_ << line.str() << '\n';
+  if (!out_) throw IoError("CSV write failed");
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  ODONN_CHECK_SHAPE(cells.size() == columns_, "CsvWriter: cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  if (!out_) throw IoError("CSV write failed");
+}
+
+}  // namespace odonn::io

@@ -1,0 +1,24 @@
+// CSV writer for sweep outputs (Fig. 6 data series).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace odonn::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row. Throws IoError on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; the cell count must match the header.
+  void row(const std::vector<double>& cells);
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace odonn::io

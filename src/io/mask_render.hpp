@@ -1,0 +1,21 @@
+// Phase-mask visualization (paper Fig. 5): renders a phase mask to a
+// colormapped PPM, with sparsified (exact-zero) pixels drawn black so the
+// cleared blocks stand out like the figure's black squares.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace odonn::io {
+
+struct MaskRenderOptions {
+  bool wrap_to_2pi = true;   ///< display modulo 2*pi (inference-equivalent)
+  bool zeros_black = true;   ///< paint exact-zero pixels black
+  std::size_t upscale = 2;   ///< integer pixel replication for visibility
+};
+
+void render_phase_mask(const std::string& path, const MatrixD& phase,
+                       const MaskRenderOptions& options = {});
+
+}  // namespace odonn::io

@@ -1,0 +1,35 @@
+// Analytic Gaussian-beam optics. Free-space propagation of a Gaussian beam
+// has a closed form (waist growth, Gouy phase, wavefront curvature), which
+// gives the test suite an absolute physics reference for the numerical
+// propagator: simulate the beam with the angular-spectrum method and check
+// the measured second-moment width against w(z).
+#pragma once
+
+#include "optics/field.hpp"
+
+namespace odonn::optics {
+
+struct GaussianBeam {
+  double wavelength = 532e-9;  ///< [m]
+  double waist = 100e-6;       ///< 1/e^2 intensity radius w0 at the waist [m]
+
+  /// Rayleigh range z_R = pi w0^2 / lambda.
+  double rayleigh_range() const;
+
+  /// Beam radius w(z) = w0 sqrt(1 + (z/z_R)^2).
+  double radius_at(double z) const;
+
+  /// Gouy phase atan(z / z_R).
+  double gouy_phase_at(double z) const;
+
+  /// Samples the beam's complex field at its waist (z = 0) on a grid,
+  /// normalized to unit power.
+  Field sample_waist(const GridSpec& grid) const;
+};
+
+/// Measured 1/e^2 radius from the intensity's second moment:
+/// w = 2 * sqrt(<r^2>_I / 2) for an ideal Gaussian (so the estimator is
+/// exact on analytic profiles and robust on simulated ones).
+double measured_beam_radius(const Field& field);
+
+}  // namespace odonn::optics

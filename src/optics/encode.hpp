@@ -1,0 +1,31 @@
+// Input encoding: maps a grayscale image onto the coherent source field at
+// the input plane (§III-A: "the input image is first encoded with the
+// coherent laser light").
+#pragma once
+
+#include "optics/field.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::optics {
+
+enum class Encoding {
+  Amplitude,  ///< field = pixel value (real, non-negative)
+  Phase,      ///< field = exp(i * 2*pi * pixel)
+};
+
+struct EncodeOptions {
+  Encoding mode = Encoding::Amplitude;
+  bool normalize_power = true;  ///< scale so total power == 1
+};
+
+/// Encodes an image already sampled on the optical grid (image shape must be
+/// grid.n x grid.n; values expected in [0, 1]).
+Field encode_image(const MatrixD& image, const GridSpec& grid,
+                   const EncodeOptions& options = {});
+
+/// Convenience: bilinearly upsamples `image` (e.g. 28x28) to the grid and
+/// encodes it — the paper's interpolation step (§IV-A1).
+Field encode_resized(const MatrixD& image, const GridSpec& grid,
+                     const EncodeOptions& options = {});
+
+}  // namespace odonn::optics

@@ -1,0 +1,67 @@
+#include "optics/fabrication.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/stats.hpp"
+
+namespace odonn::optics {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+
+void check(const MaterialSpec& material) {
+  ODONN_CHECK(material.refractive_index > 1.0,
+              "fabrication: refractive index must exceed 1");
+  ODONN_CHECK(material.wavelength > 0.0,
+              "fabrication: wavelength must be positive");
+}
+}  // namespace
+
+double MaterialSpec::zone_height() const {
+  return wavelength / (refractive_index - 1.0);
+}
+
+MatrixD phase_to_thickness(const MatrixD& phase, const MaterialSpec& material,
+                           bool wrap) {
+  check(material);
+  ODONN_CHECK(!phase.empty(), "phase_to_thickness: empty mask");
+  const double per_radian = material.zone_height() / kTwoPi;
+  MatrixD out(phase.rows(), phase.cols());
+  for (std::size_t i = 0; i < phase.size(); ++i) {
+    double phi = phase[i];
+    if (wrap) {
+      phi = std::fmod(phi, kTwoPi);
+      if (phi < 0.0) phi += kTwoPi;
+    }
+    out[i] = phi * per_radian;
+  }
+  return out;
+}
+
+MatrixD thickness_to_phase(const MatrixD& thickness,
+                           const MaterialSpec& material) {
+  check(material);
+  ODONN_CHECK(!thickness.empty(), "thickness_to_phase: empty relief");
+  const double per_meter = kTwoPi / material.zone_height();
+  MatrixD out(thickness.rows(), thickness.cols());
+  for (std::size_t i = 0; i < thickness.size(); ++i) {
+    out[i] = thickness[i] * per_meter;
+  }
+  return out;
+}
+
+ThicknessReport thickness_report(const MatrixD& phase,
+                                 const MaterialSpec& material, bool wrap,
+                                 const roughness::RoughnessOptions& options) {
+  const MatrixD t = phase_to_thickness(phase, material, wrap);
+  MatrixD t_um = t;
+  t_um *= 1e6;
+  ThicknessReport report;
+  report.roughness_um = roughness::mask_roughness(t_um, options);
+  report.max_height_um = max_value(t_um);
+  report.mean_height_um = mean(t_um);
+  return report;
+}
+
+}  // namespace odonn::optics

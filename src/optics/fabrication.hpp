@@ -1,0 +1,50 @@
+// Fabrication model: phase <-> material thickness for 3D-printed masks.
+//
+// The paper quantifies interpixel crosstalk "using adjacency pixel
+// THICKNESS differences" — the physical mask is a relief surface whose
+// local height sets the phase delay:
+//     phi = 2*pi * (n_material - 1) * t / lambda      (transmission mask)
+// so a phase step of 2*pi corresponds to one "zone height"
+//     t_2pi = lambda / (n_material - 1).
+// This module converts trained phase masks to printable thickness maps
+// (wrapping into [0, t_2pi) like a kinoform, or keeping multi-level
+// "unwrapped" relief where the 2*pi optimizer intentionally adds full
+// zones), and reports roughness in physical micrometers.
+#pragma once
+
+#include "roughness/roughness.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::optics {
+
+struct MaterialSpec {
+  double refractive_index = 1.72;  ///< printable resin at 0.4 THz..532nm-ish
+  double wavelength = 532e-9;      ///< design wavelength [m]
+
+  /// Thickness producing a full 2*pi delay.
+  double zone_height() const;
+};
+
+/// Phase [rad] -> thickness [m]. With wrap=true the relief is folded into
+/// one zone height (kinoform); with wrap=false the full multi-zone relief
+/// is kept (preserves the 2*pi optimizer's intent).
+MatrixD phase_to_thickness(const MatrixD& phase, const MaterialSpec& material,
+                           bool wrap = false);
+
+/// Thickness [m] -> phase [rad] (exact inverse for wrap=false).
+MatrixD thickness_to_phase(const MatrixD& thickness,
+                           const MaterialSpec& material);
+
+struct ThicknessReport {
+  double roughness_um = 0.0;   ///< Eq. 3/4 roughness evaluated on thickness [um]
+  double max_height_um = 0.0;  ///< tallest feature (print constraint)
+  double mean_height_um = 0.0;
+};
+
+/// Physical-units roughness of the printed relief for one mask.
+ThicknessReport thickness_report(const MatrixD& phase,
+                                 const MaterialSpec& material,
+                                 bool wrap = false,
+                                 const roughness::RoughnessOptions& options = {});
+
+}  // namespace odonn::optics

@@ -1,0 +1,41 @@
+#include "optics/field.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::optics {
+
+Field::Field(const GridSpec& grid)
+    : grid_(grid), values_(grid.n, grid.n, std::complex<double>(0.0, 0.0)) {
+  validate(grid);
+}
+
+Field::Field(const GridSpec& grid, MatrixC amplitude)
+    : grid_(grid), values_(std::move(amplitude)) {
+  validate(grid);
+  ODONN_CHECK_SHAPE(values_.rows() == grid.n && values_.cols() == grid.n,
+                    "field amplitude shape must match grid");
+}
+
+MatrixD Field::intensity() const {
+  MatrixD out(values_.rows(), values_.cols());
+  for (std::size_t i = 0; i < values_.size(); ++i) out[i] = std::norm(values_[i]);
+  return out;
+}
+
+double Field::power() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) acc += std::norm(values_[i]);
+  return acc;
+}
+
+void Field::normalize_power(double target) {
+  ODONN_CHECK(target > 0.0, "normalize_power target must be positive");
+  const double p = power();
+  if (p <= 0.0) return;
+  const double scale = std::sqrt(target / p);
+  for (auto& v : values_) v *= scale;
+}
+
+}  // namespace odonn::optics

@@ -1,0 +1,48 @@
+// Scalar complex optical field sampled on a GridSpec. Carries its grid so
+// propagators and layers can verify geometric compatibility.
+#pragma once
+
+#include "optics/grid.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::optics {
+
+class Field {
+ public:
+  Field() = default;
+
+  /// Zero field on the given grid.
+  explicit Field(const GridSpec& grid);
+
+  /// Takes ownership of amplitude samples; shape must be grid.n x grid.n.
+  Field(const GridSpec& grid, MatrixC amplitude);
+
+  const GridSpec& grid() const { return grid_; }
+  std::size_t n() const { return grid_.n; }
+
+  MatrixC& values() { return values_; }
+  const MatrixC& values() const { return values_; }
+
+  std::complex<double>& operator()(std::size_t r, std::size_t c) {
+    return values_(r, c);
+  }
+  const std::complex<double>& operator()(std::size_t r, std::size_t c) const {
+    return values_(r, c);
+  }
+
+  /// |f|^2 per sample.
+  MatrixD intensity() const;
+
+  /// Total power: sum of intensity (no pitch^2 factor — every consumer in
+  /// odonn works with the same grid, so the area element cancels).
+  double power() const;
+
+  /// Scales so power() == target (no-op on an all-zero field).
+  void normalize_power(double target = 1.0);
+
+ private:
+  GridSpec grid_{};
+  MatrixC values_{};
+};
+
+}  // namespace odonn::optics

@@ -1,0 +1,28 @@
+#include "optics/grid.hpp"
+
+#include "common/error.hpp"
+#include "fft/fft2d.hpp"
+
+namespace odonn::optics {
+
+void validate(const GridSpec& grid) {
+  if (grid.n < 2) throw ConfigError("grid size must be >= 2");
+  if (!(grid.pitch > 0.0)) throw ConfigError("grid pitch must be positive");
+}
+
+std::vector<double> spatial_coords(const GridSpec& grid) {
+  validate(grid);
+  std::vector<double> coords(grid.n);
+  const double center = static_cast<double>(grid.n) / 2.0;
+  for (std::size_t i = 0; i < grid.n; ++i) {
+    coords[i] = (static_cast<double>(i) - center) * grid.pitch;
+  }
+  return coords;
+}
+
+std::vector<double> frequency_coords(const GridSpec& grid) {
+  validate(grid);
+  return fft::fft_freqs(grid.n, grid.pitch);
+}
+
+}  // namespace odonn::optics

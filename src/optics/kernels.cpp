@@ -1,0 +1,111 @@
+#include "optics/kernels.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace odonn::optics {
+
+KernelType parse_kernel(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "asm" || low == "angular" || low == "angular_spectrum") {
+    return KernelType::AngularSpectrum;
+  }
+  if (low == "blasm" || low == "bandlimited" || low == "band_limited") {
+    return KernelType::BandLimitedASM;
+  }
+  if (low == "fresnel" || low == "fresnel_tf") return KernelType::FresnelTF;
+  throw ConfigError("unknown propagation kernel '" + name + "'");
+}
+
+const char* kernel_name(KernelType type) {
+  switch (type) {
+    case KernelType::AngularSpectrum: return "asm";
+    case KernelType::BandLimitedASM: return "blasm";
+    case KernelType::FresnelTF: return "fresnel";
+  }
+  return "?";
+}
+
+namespace {
+
+MatrixC angular_spectrum(const GridSpec& grid, double wavelength, double z,
+                         bool band_limited) {
+  const auto freqs = frequency_coords(grid);
+  const double inv_lambda_sq = 1.0 / (wavelength * wavelength);
+  MatrixC h(grid.n, grid.n);
+
+  // Band limit (Matsushima & Shimobaba 2009): frequencies whose local fringe
+  // period is under-sampled by the window alias; cut them. du is the
+  // frequency sampling step 1/(n*pitch).
+  double f_limit = std::numeric_limits<double>::infinity();
+  if (band_limited && z > 0.0) {
+    // Nyquist bound on the kernel's local fringe frequency:
+    //   u_limit = 1 / (lambda * sqrt((2 du z)^2 + 1)),  du = 1/(n*pitch).
+    const double du = 1.0 / grid.extent();
+    const double s = 2.0 * du * z;
+    f_limit = 1.0 / (wavelength * std::sqrt(s * s + 1.0));
+  }
+
+  for (std::size_t r = 0; r < grid.n; ++r) {
+    const double fy = freqs[r];
+    for (std::size_t c = 0; c < grid.n; ++c) {
+      const double fx = freqs[c];
+      if (band_limited &&
+          (std::abs(fx) > f_limit || std::abs(fy) > f_limit)) {
+        h(r, c) = {0.0, 0.0};
+        continue;
+      }
+      const double arg = inv_lambda_sq - fx * fx - fy * fy;
+      if (arg >= 0.0) {
+        const double phase = 2.0 * M_PI * z * std::sqrt(arg);
+        h(r, c) = {std::cos(phase), std::sin(phase)};
+      } else {
+        // Evanescent: decays exponentially with distance.
+        const double decay = std::exp(-2.0 * M_PI * z * std::sqrt(-arg));
+        h(r, c) = {decay, 0.0};
+      }
+    }
+  }
+  return h;
+}
+
+MatrixC fresnel_tf(const GridSpec& grid, double wavelength, double z) {
+  const auto freqs = frequency_coords(grid);
+  const double k = 2.0 * M_PI / wavelength;
+  const double carrier = k * z;  // global phase exp(i k z)
+  MatrixC h(grid.n, grid.n);
+  for (std::size_t r = 0; r < grid.n; ++r) {
+    const double fy = freqs[r];
+    for (std::size_t c = 0; c < grid.n; ++c) {
+      const double fx = freqs[c];
+      const double phase = carrier - M_PI * wavelength * z * (fx * fx + fy * fy);
+      h(r, c) = {std::cos(phase), std::sin(phase)};
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+MatrixC transfer_function(const GridSpec& grid, const KernelSpec& spec) {
+  validate(grid);
+  ODONN_CHECK(spec.wavelength > 0.0, "wavelength must be positive");
+  ODONN_CHECK(spec.distance >= 0.0, "propagation distance must be >= 0");
+  switch (spec.type) {
+    case KernelType::AngularSpectrum:
+      return angular_spectrum(grid, spec.wavelength, spec.distance, false);
+    case KernelType::BandLimitedASM:
+      return angular_spectrum(grid, spec.wavelength, spec.distance, true);
+    case KernelType::FresnelTF:
+      return fresnel_tf(grid, spec.wavelength, spec.distance);
+  }
+  throw ConfigError("unhandled kernel type");
+}
+
+}  // namespace odonn::optics

@@ -1,0 +1,52 @@
+// FFT-based free-space propagation P = F^{-1} diag(H) F with cached kernel
+// and optional 2x zero-padding (linear- vs circular-convolution ablation).
+//
+// The adjoint operator P* = F^{-1} diag(conj(H)) F is exposed for
+// backpropagation: because the forward/inverse FFT scalings cancel, the
+// adjoint reuses the same machinery with the conjugated kernel
+// (see DESIGN.md §4).
+#pragma once
+
+#include <memory>
+
+#include "optics/field.hpp"
+#include "optics/kernels.hpp"
+
+namespace odonn::optics {
+
+struct PropagatorOptions {
+  KernelSpec kernel;
+  bool pad2x = false;  ///< zero-pad to 2n before applying H (suppresses wrap-around)
+};
+
+class Propagator {
+ public:
+  Propagator(const GridSpec& grid, const PropagatorOptions& options);
+
+  const GridSpec& grid() const { return grid_; }
+  const PropagatorOptions& options() const { return options_; }
+
+  /// Applies P to the field (same grid in and out).
+  Field forward(const Field& input) const;
+
+  /// Applies the adjoint P* (used to pull gradients back through free space).
+  Field adjoint(const Field& grad_output) const;
+
+  /// The cached transfer function (on the padded grid if pad2x).
+  const MatrixC& transfer() const { return kernel_; }
+
+ private:
+  Field apply(const Field& input, bool conjugate_kernel) const;
+
+  GridSpec grid_;
+  PropagatorOptions options_;
+  GridSpec work_grid_;  ///< grid_ or 2x padded
+  MatrixC kernel_;
+};
+
+/// Composes a propagation over z via `steps` sequential applications of
+/// z/steps. Used by tests to check the semigroup property P(z1+z2)=P(z1)P(z2).
+Field propagate_in_steps(const Field& input, const KernelSpec& spec,
+                         std::size_t steps, bool pad2x = false);
+
+}  // namespace odonn::optics

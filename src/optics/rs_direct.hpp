@@ -1,0 +1,17 @@
+// Direct-space Rayleigh–Sommerfeld diffraction (first kind), the impulse
+// response used by Lin et al. (Science 2018) for D2NN:
+//   w(x, y, z) = (z / r^2) * (1/(2 pi r) + 1/(i lambda)) * exp(i 2 pi r / lambda)
+// evaluated as an O(n^4) spatial convolution. Far too slow for training —
+// exists purely as a physics reference to validate the spectral propagator.
+#pragma once
+
+#include "optics/field.hpp"
+#include "optics/kernels.hpp"
+
+namespace odonn::optics {
+
+/// Propagates by direct summation over all source pixels. Complexity
+/// O(n^4); intended for n <= 64 in tests.
+Field rs_direct_propagate(const Field& input, double wavelength, double z);
+
+}  // namespace odonn::optics

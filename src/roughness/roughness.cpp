@@ -1,0 +1,137 @@
+#include "roughness/roughness.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::roughness {
+
+namespace {
+
+struct Offset {
+  int dr;
+  int dc;
+};
+
+constexpr std::array<Offset, 4> kFour = {{{-1, 0}, {0, -1}, {0, 1}, {1, 0}}};
+constexpr std::array<Offset, 8> kEight = {{{-1, -1}, {-1, 0}, {-1, 1},
+                                           {0, -1}, {0, 1},
+                                           {1, -1}, {1, 0}, {1, 1}}};
+
+/// Value at (r, c) with one-pixel zero padding outside the mask.
+inline double padded(const MatrixD& m, long r, long c) {
+  if (r < 0 || c < 0 || r >= static_cast<long>(m.rows()) ||
+      c >= static_cast<long>(m.cols())) {
+    return 0.0;
+  }
+  return m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+}
+
+template <typename Fn>
+void for_each_neighbor(Neighborhood nb, Fn&& fn) {
+  if (nb == Neighborhood::Four) {
+    for (const auto& o : kFour) fn(o);
+  } else {
+    for (const auto& o : kEight) fn(o);
+  }
+}
+
+}  // namespace
+
+MatrixD roughness_map(const MatrixD& mask, const RoughnessOptions& options) {
+  ODONN_CHECK(!mask.empty(), "roughness_map: empty mask");
+  ODONN_CHECK(options.k_scale > 0.0, "roughness: k_scale must be positive");
+  const double k = static_cast<double>(options.neighborhood) *
+                   (options.reduce == PixelReduce::L2Norm ? options.k_scale : 1.0);
+  MatrixD out(mask.rows(), mask.cols());
+  for (std::size_t r = 0; r < mask.rows(); ++r) {
+    for (std::size_t c = 0; c < mask.cols(); ++c) {
+      const double center = mask(r, c);
+      double acc = 0.0;
+      for_each_neighbor(options.neighborhood, [&](const Offset& o) {
+        const double d = padded(mask, static_cast<long>(r) + o.dr,
+                                static_cast<long>(c) + o.dc) -
+                         center;
+        acc += (options.reduce == PixelReduce::L2Norm) ? d * d : std::abs(d);
+      });
+      out(r, c) = (options.reduce == PixelReduce::L2Norm)
+                      ? std::sqrt(acc) / k
+                      : acc / k;
+    }
+  }
+  return out;
+}
+
+double mask_roughness(const MatrixD& mask, const RoughnessOptions& options) {
+  return roughness_map(mask, options).sum();
+}
+
+double roughness_with_grad(const MatrixD& mask, MatrixD& grad, double scale,
+                           const RoughnessOptions& options) {
+  ODONN_CHECK(!mask.empty(), "roughness_with_grad: empty mask");
+  ODONN_CHECK_SHAPE(grad.same_shape(mask),
+                    "roughness_with_grad: gradient shape mismatch");
+  ODONN_CHECK(options.k_scale > 0.0, "roughness: k_scale must be positive");
+  const double k = static_cast<double>(options.neighborhood) *
+                   (options.reduce == PixelReduce::L2Norm ? options.k_scale : 1.0);
+  const long rows = static_cast<long>(mask.rows());
+  const long cols = static_cast<long>(mask.cols());
+  double total = 0.0;
+
+  if (options.reduce == PixelReduce::L2Norm) {
+    // R(p) = (1/k) sqrt(sum_q d_q^2 + eps), d_q = w_q - w_p.
+    // dR(p)/dw_p = -(1/k) sum_q d_q / sqrt(.), dR(p)/dw_q = (1/k) d_q / sqrt(.)
+    for (long r = 0; r < rows; ++r) {
+      for (long c = 0; c < cols; ++c) {
+        const double center = mask(static_cast<std::size_t>(r),
+                                   static_cast<std::size_t>(c));
+        double sum_sq = options.eps;
+        for_each_neighbor(options.neighborhood, [&](const Offset& o) {
+          const double d = padded(mask, r + o.dr, c + o.dc) - center;
+          sum_sq += d * d;
+        });
+        const double root = std::sqrt(sum_sq);
+        total += root / k;
+        const double inv = scale / (k * root);
+        double center_grad = 0.0;
+        for_each_neighbor(options.neighborhood, [&](const Offset& o) {
+          const long nr = r + o.dr;
+          const long nc = c + o.dc;
+          const double d = padded(mask, nr, nc) - center;
+          center_grad -= d * inv;
+          if (nr >= 0 && nc >= 0 && nr < rows && nc < cols) {
+            grad(static_cast<std::size_t>(nr), static_cast<std::size_t>(nc)) +=
+                d * inv;
+          }
+        });
+        grad(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +=
+            center_grad;
+      }
+    }
+    return total;
+  }
+
+  // MeanAbs: R(p) = (1/k) sum_q |d_q|; d|d|/dd = d / sqrt(d^2 + eps).
+  for (long r = 0; r < rows; ++r) {
+    for (long c = 0; c < cols; ++c) {
+      const double center = mask(static_cast<std::size_t>(r),
+                                 static_cast<std::size_t>(c));
+      for_each_neighbor(options.neighborhood, [&](const Offset& o) {
+        const long nr = r + o.dr;
+        const long nc = c + o.dc;
+        const double d = padded(mask, nr, nc) - center;
+        total += std::abs(d) / k;
+        const double sign = d / std::sqrt(d * d + options.eps);
+        const double g = scale * sign / k;
+        grad(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) -= g;
+        if (nr >= 0 && nc >= 0 && nr < rows && nc < cols) {
+          grad(static_cast<std::size_t>(nr), static_cast<std::size_t>(nc)) += g;
+        }
+      });
+    }
+  }
+  return total;
+}
+
+}  // namespace odonn::roughness

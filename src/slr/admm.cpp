@@ -1,0 +1,93 @@
+#include "slr/admm.hpp"
+
+#include "common/error.hpp"
+
+namespace odonn::slr {
+
+AdmmState::AdmmState(const std::vector<MatrixD>& weights,
+                     const AdmmOptions& options)
+    : options_(options) {
+  ODONN_CHECK(!weights.empty(), "ADMM: no weights");
+  ODONN_CHECK(options.rho > 0.0, "ADMM: rho must be positive");
+  z_ = project(weights);
+  u_.reserve(weights.size());
+  for (const auto& w : weights) u_.emplace_back(w.rows(), w.cols(), 0.0);
+}
+
+std::vector<MatrixD> AdmmState::project(
+    const std::vector<MatrixD>& weights) const {
+  std::vector<MatrixD> projected;
+  projected.reserve(weights.size());
+  for (const auto& w : weights) {
+    const auto mask = sparsify::sparsify(w, options_.scheme);
+    MatrixD z = w;
+    sparsify::apply_mask(z, mask);
+    projected.push_back(std::move(z));
+  }
+  return projected;
+}
+
+double AdmmState::penalty_value(const std::vector<MatrixD>& weights) const {
+  ODONN_CHECK_SHAPE(weights.size() == z_.size(), "ADMM: layer count mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      const double d = weights[i][j] - z_[i][j] + u_[i][j];
+      acc += 0.5 * options_.rho * d * d;
+    }
+  }
+  return acc;
+}
+
+void AdmmState::add_penalty_gradient(const std::vector<MatrixD>& weights,
+                                     std::vector<MatrixD>& grads) const {
+  ODONN_CHECK_SHAPE(weights.size() == z_.size() && grads.size() == z_.size(),
+                    "ADMM: layer count mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      grads[i][j] += options_.rho * (weights[i][j] - z_[i][j] + u_[i][j]);
+    }
+  }
+}
+
+bool AdmmState::round(const std::vector<MatrixD>& weights) {
+  std::vector<MatrixD> shifted;
+  shifted.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    MatrixD m = weights[i];
+    m += u_[i];
+    shifted.push_back(std::move(m));
+  }
+  auto new_z = project(shifted);
+  bool support_changed = false;
+  for (std::size_t i = 0; i < new_z.size() && !support_changed; ++i) {
+    for (std::size_t j = 0; j < new_z[i].size(); ++j) {
+      if ((new_z[i][j] == 0.0) != (z_[i][j] == 0.0)) {
+        support_changed = true;
+        break;
+      }
+    }
+  }
+  z_ = std::move(new_z);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      u_[i][j] += weights[i][j] - z_[i][j];
+    }
+  }
+  return support_changed;
+}
+
+std::vector<sparsify::SparsityMask> AdmmState::masks() const {
+  std::vector<sparsify::SparsityMask> masks;
+  masks.reserve(z_.size());
+  for (const auto& z : z_) {
+    sparsify::SparsityMask mask(z.rows(), z.cols(), 1);
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      if (z[j] == 0.0) mask[j] = 0;
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+}  // namespace odonn::slr

@@ -1,0 +1,50 @@
+// Classic ADMM model-compression comparator (Boyd et al.; Zhang et al.
+// ECCV'18) — the method SLR improves on. Scaled-dual form:
+//   W-step: trainer minimizes loss + (rho/2)||W - Z + U||^2
+//   Z-step: Z = project(W + U) onto the sparse set
+//   U-step: U += W - Z
+// Kept deliberately simple; bench/ablation_design contrasts its convergence
+// with SLR's surrogate-stepsize multipliers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparsify/schemes.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::slr {
+
+struct AdmmOptions {
+  double rho = 0.1;
+  sparsify::SchemeOptions scheme{};
+};
+
+class AdmmState {
+ public:
+  AdmmState(const std::vector<MatrixD>& weights, const AdmmOptions& options);
+
+  const std::vector<MatrixD>& z() const { return z_; }
+
+  /// (rho/2) sum ||W - Z + U||^2.
+  double penalty_value(const std::vector<MatrixD>& weights) const;
+
+  /// Adds rho (W - Z + U) into `grads`.
+  void add_penalty_gradient(const std::vector<MatrixD>& weights,
+                            std::vector<MatrixD>& grads) const;
+
+  /// Z-step followed by the dual update. Returns true if the Z support
+  /// changed.
+  bool round(const std::vector<MatrixD>& weights);
+
+  std::vector<sparsify::SparsityMask> masks() const;
+
+ private:
+  std::vector<MatrixD> project(const std::vector<MatrixD>& weights) const;
+
+  AdmmOptions options_;
+  std::vector<MatrixD> z_;
+  std::vector<MatrixD> u_;
+};
+
+}  // namespace odonn::slr

@@ -1,0 +1,143 @@
+#include "slr/slr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::slr {
+
+SlrState::SlrState(const std::vector<MatrixD>& weights,
+                   const SlrOptions& options)
+    : options_(options), s_(options.s0) {
+  ODONN_CHECK(!weights.empty(), "SLR: no weights");
+  ODONN_CHECK(options.rho > 0.0, "SLR: rho must be positive");
+  ODONN_CHECK(options.s0 > 0.0, "SLR: s0 must be positive");
+  ODONN_CHECK(options.M >= 1, "SLR: M must be >= 1");
+  z_ = project(weights);
+  lambda_.reserve(weights.size());
+  for (const auto& w : weights) lambda_.emplace_back(w.rows(), w.cols(), 0.0);
+  prev_violation_ = violation_norm(weights);
+}
+
+std::vector<MatrixD> SlrState::project(
+    const std::vector<MatrixD>& weights) const {
+  std::vector<MatrixD> projected;
+  projected.reserve(weights.size());
+  for (const auto& w : weights) {
+    const auto mask = sparsify::sparsify(w, options_.scheme);
+    MatrixD z = w;
+    sparsify::apply_mask(z, mask);
+    projected.push_back(std::move(z));
+  }
+  return projected;
+}
+
+double SlrState::violation_norm(const std::vector<MatrixD>& weights) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      const double d = weights[i][j] - z_[i][j];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double SlrState::penalty_value(const std::vector<MatrixD>& weights) const {
+  ODONN_CHECK_SHAPE(weights.size() == z_.size(), "SLR: layer count mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      const double d = weights[i][j] - z_[i][j];
+      acc += lambda_[i][j] * d + 0.5 * options_.rho * d * d;
+    }
+  }
+  return acc;
+}
+
+void SlrState::add_penalty_gradient(const std::vector<MatrixD>& weights,
+                                    std::vector<MatrixD>& grads) const {
+  ODONN_CHECK_SHAPE(weights.size() == z_.size() && grads.size() == z_.size(),
+                    "SLR: layer count mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      grads[i][j] += lambda_[i][j] + options_.rho * (weights[i][j] - z_[i][j]);
+    }
+  }
+}
+
+void SlrState::advance_multipliers(const std::vector<MatrixD>& weights) {
+  const double violation = violation_norm(weights);
+  if (violation <= 1e-15) return;  // constraints satisfied; nothing to push
+
+  ++k_;
+  const double kf = static_cast<double>(k_);
+  // Zhao–Luh schedule: alpha_k = 1 - 1/(M k^p), p = 1 - 1/k^r.
+  const double p = 1.0 - 1.0 / std::pow(kf, options_.r);
+  const double alpha =
+      1.0 - 1.0 / (static_cast<double>(options_.M) * std::pow(kf, p));
+  if (k_ > 1 && prev_violation_ > 1e-15) {
+    s_ = alpha * s_ * prev_violation_ / violation;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    for (std::size_t j = 0; j < weights[i].size(); ++j) {
+      lambda_[i][j] += s_ * (weights[i][j] - z_[i][j]);
+    }
+  }
+  prev_violation_ = violation;
+}
+
+bool SlrState::round(const std::vector<MatrixD>& weights,
+                     double surrogate_loss) {
+  // Surrogate optimality check on the W-step result.
+  const bool improved =
+      !have_surrogate_ || surrogate_loss < best_surrogate_;
+  if (improved) {
+    best_surrogate_ = surrogate_loss;
+    have_surrogate_ = true;
+    advance_multipliers(weights);
+  }
+
+  // Z subproblem: argmin_Z tr(L^T(W-Z)) + rho/2||W-Z||^2 + g(Z)
+  //             = project(W + Lambda/rho) onto the sparse set.
+  std::vector<MatrixD> shifted;
+  shifted.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    MatrixD m = weights[i];
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      m[j] += lambda_[i][j] / options_.rho;
+    }
+    shifted.push_back(std::move(m));
+  }
+  auto new_z = project(shifted);
+  bool support_changed = false;
+  for (std::size_t i = 0; i < new_z.size() && !support_changed; ++i) {
+    for (std::size_t j = 0; j < new_z[i].size(); ++j) {
+      if ((new_z[i][j] == 0.0) != (z_[i][j] == 0.0)) {
+        support_changed = true;
+        break;
+      }
+    }
+  }
+  z_ = std::move(new_z);
+
+  // Z-side surrogate check: the Z-step minimizes the Lagrangian in Z, so it
+  // cannot increase it; advance the multipliers on the new violation.
+  advance_multipliers(weights);
+  return support_changed;
+}
+
+std::vector<sparsify::SparsityMask> SlrState::masks() const {
+  std::vector<sparsify::SparsityMask> masks;
+  masks.reserve(z_.size());
+  for (const auto& z : z_) {
+    sparsify::SparsityMask mask(z.rows(), z.cols(), 1);
+    for (std::size_t j = 0; j < z.size(); ++j) {
+      if (z[j] == 0.0) mask[j] = 0;
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+}  // namespace odonn::slr

@@ -1,0 +1,81 @@
+// Surrogate Lagrangian Relaxation (SLR) block-sparsity optimizer
+// (paper §III-C2; Gurevin et al., IJCAI'20).
+//
+// The constrained problem min_W loss(W) s.t. W block-sparse is relaxed with
+// duplicate variables Z and multipliers Lambda (Eq. 6-7):
+//   L(W, Z, Lambda) = loss(W) + sum_i tr(Lambda_i^T (W_i - Z_i))
+//                   + (rho/2) sum_i ||W_i - Z_i||_F^2
+// and solved by alternating two subproblems:
+//   1. W-step  — the trainer minimizes L over W (normal gradient steps on
+//      loss plus the penalty gradient Lambda + rho (W - Z) from this class);
+//   2. Z-step  — closed form: Euclidean projection of W + Lambda/rho onto
+//      the block-sparse set (keep the top blocks by L2 norm).
+// Multipliers advance with the surrogate subgradient rule: they are only
+// updated when the surrogate optimality condition (the Lagrangian decreased
+// since the last update) holds, with the Zhao–Luh stepsize schedule
+//   alpha_k = 1 - 1/(M * k^p),  p = 1 - 1/k^r,
+//   s_k = alpha_k * s_{k-1} * ||v_{k-1}|| / ||v_k||,   v = W - Z.
+// Defaults follow the paper's §IV-A2: rho=0.1, M=300, r=0.1, s0=0.01.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparsify/schemes.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::slr {
+
+struct SlrOptions {
+  double rho = 0.1;
+  double s0 = 0.01;
+  double r = 0.1;
+  std::size_t M = 300;
+  sparsify::SchemeOptions scheme{};  ///< target sparsity pattern for Z
+};
+
+class SlrState {
+ public:
+  /// Initializes Z_i = project(W_i), Lambda_i = 0.
+  SlrState(const std::vector<MatrixD>& weights, const SlrOptions& options);
+
+  const SlrOptions& options() const { return options_; }
+  const std::vector<MatrixD>& z() const { return z_; }
+  const std::vector<MatrixD>& lambda() const { return lambda_; }
+  std::size_t multiplier_updates() const { return k_; }
+  double stepsize() const { return s_; }
+
+  /// Penalty part of the Lagrangian: sum_i tr(L^T(W-Z)) + rho/2 ||W-Z||^2.
+  double penalty_value(const std::vector<MatrixD>& weights) const;
+
+  /// Adds d(penalty)/dW_i = Lambda_i + rho (W_i - Z_i) into `grads`.
+  void add_penalty_gradient(const std::vector<MatrixD>& weights,
+                            std::vector<MatrixD>& grads) const;
+
+  /// Runs one SLR round after the trainer's W-step:
+  ///  * if `surrogate_loss` (loss+penalty after the W-step) improved on the
+  ///    last evaluation, advance the multipliers (W-side update);
+  ///  * solve the Z subproblem (projection);
+  ///  * if the Lagrangian improved again, advance the multipliers (Z-side).
+  /// Returns true if Z changed support.
+  bool round(const std::vector<MatrixD>& weights, double surrogate_loss);
+
+  /// Final block-sparsity masks induced by the current Z support.
+  std::vector<sparsify::SparsityMask> masks() const;
+
+ private:
+  void advance_multipliers(const std::vector<MatrixD>& weights);
+  std::vector<MatrixD> project(const std::vector<MatrixD>& weights) const;
+  double violation_norm(const std::vector<MatrixD>& weights) const;
+
+  SlrOptions options_;
+  std::vector<MatrixD> z_;
+  std::vector<MatrixD> lambda_;
+  double s_;                 ///< current stepsize
+  std::size_t k_ = 0;        ///< multiplier update count
+  double prev_violation_ = 0.0;
+  double best_surrogate_ = 0.0;
+  bool have_surrogate_ = false;
+};
+
+}  // namespace odonn::slr

@@ -1,0 +1,41 @@
+#include "sparsify/bank_balanced.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace odonn::sparsify {
+
+SparsityMask bank_balanced_sparsify(const MatrixD& weights,
+                                    const BankBalancedOptions& options) {
+  ODONN_CHECK(!weights.empty(), "bank_balanced_sparsify: empty weights");
+  ODONN_CHECK(options.bank_size >= 1, "bank_balanced_sparsify: bad bank size");
+  ODONN_CHECK(options.ratio >= 0.0 && options.ratio <= 1.0,
+              "bank_balanced_sparsify: ratio must be in [0, 1]");
+  ODONN_CHECK_SHAPE(weights.cols() % options.bank_size == 0,
+                    "bank_balanced_sparsify: bank size must divide columns");
+
+  const std::size_t per_bank = static_cast<std::size_t>(
+      std::llround(options.ratio * static_cast<double>(options.bank_size)));
+  SparsityMask mask = full_mask(weights.rows(), weights.cols());
+  if (per_bank == 0) return mask;
+
+  std::vector<std::size_t> order(options.bank_size);
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    for (std::size_t b0 = 0; b0 < weights.cols(); b0 += options.bank_size) {
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return std::abs(weights(r, b0 + a)) <
+                                std::abs(weights(r, b0 + b));
+                       });
+      for (std::size_t i = 0; i < per_bank; ++i) mask(r, b0 + order[i]) = 0;
+    }
+  }
+  return mask;
+}
+
+}  // namespace odonn::sparsify

@@ -1,0 +1,24 @@
+// Bank-balanced sparsification (paper §III-C1, Fig. 3c; Cao et al. FPGA'19):
+// each row is split into equal-sized banks and the same number of smallest-
+// magnitude elements is zeroed inside every bank, so sparsity is identical
+// across banks (good for hardware scheduling, poor for roughness).
+#pragma once
+
+#include <cstddef>
+
+#include "sparsify/mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::sparsify {
+
+struct BankBalancedOptions {
+  std::size_t bank_size = 3;  ///< elements per bank along a row
+  double ratio = 0.1;         ///< fraction zeroed within every bank
+};
+
+/// Requires bank_size to divide the column count (banks are hardware lanes;
+/// ragged banks would break the balance property). Throws ShapeError.
+SparsityMask bank_balanced_sparsify(const MatrixD& weights,
+                                    const BankBalancedOptions& options);
+
+}  // namespace odonn::sparsify

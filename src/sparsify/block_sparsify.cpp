@@ -1,0 +1,103 @@
+#include "sparsify/block_sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace odonn::sparsify {
+
+namespace {
+
+void zero_block(SparsityMask& mask, std::size_t block_size, std::size_t br,
+                std::size_t bc) {
+  const std::size_t r0 = br * block_size;
+  const std::size_t c0 = bc * block_size;
+  const std::size_t r1 = std::min(mask.rows(), r0 + block_size);
+  const std::size_t c1 = std::min(mask.cols(), c0 + block_size);
+  for (std::size_t r = r0; r < r1; ++r) {
+    for (std::size_t c = c0; c < c1; ++c) mask(r, c) = 0;
+  }
+}
+
+}  // namespace
+
+MatrixD block_l2_norms(const MatrixD& weights, std::size_t block_size) {
+  ODONN_CHECK(!weights.empty(), "block_l2_norms: empty weights");
+  ODONN_CHECK(block_size >= 1, "block_l2_norms: block_size must be >= 1");
+  const std::size_t tr = (weights.rows() + block_size - 1) / block_size;
+  const std::size_t tc = (weights.cols() + block_size - 1) / block_size;
+  MatrixD norms(tr, tc);
+  for (std::size_t br = 0; br < tr; ++br) {
+    const std::size_t r0 = br * block_size;
+    const std::size_t r1 = std::min(weights.rows(), r0 + block_size);
+    for (std::size_t bc = 0; bc < tc; ++bc) {
+      const std::size_t c0 = bc * block_size;
+      const std::size_t c1 = std::min(weights.cols(), c0 + block_size);
+      double acc = 0.0;
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1; ++c) acc += weights(r, c) * weights(r, c);
+      }
+      norms(br, bc) = std::sqrt(acc);
+    }
+  }
+  return norms;
+}
+
+SparsityMask block_sparsify(const MatrixD& weights,
+                            const BlockSparsifyOptions& options) {
+  ODONN_CHECK(options.ratio >= 0.0 && options.ratio <= 1.0,
+              "block_sparsify: ratio must be in [0, 1]");
+  const MatrixD norms = block_l2_norms(weights, options.block_size);
+  const std::size_t num_blocks = norms.size();
+  const std::size_t to_zero = static_cast<std::size_t>(
+      std::llround(options.ratio * static_cast<double>(num_blocks)));
+
+  SparsityMask mask = full_mask(weights.rows(), weights.cols());
+  if (to_zero == 0) return mask;
+
+  std::vector<std::size_t> order(num_blocks);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return norms[a] < norms[b];
+                   });
+  for (std::size_t i = 0; i < to_zero; ++i) {
+    const std::size_t idx = order[i];
+    zero_block(mask, options.block_size, idx / norms.cols(),
+               idx % norms.cols());
+  }
+  return mask;
+}
+
+SparsityMask block_sparsify_threshold(const MatrixD& weights,
+                                      std::size_t block_size,
+                                      double threshold) {
+  const MatrixD norms = block_l2_norms(weights, block_size);
+  SparsityMask mask = full_mask(weights.rows(), weights.cols());
+  for (std::size_t br = 0; br < norms.rows(); ++br) {
+    for (std::size_t bc = 0; bc < norms.cols(); ++bc) {
+      if (norms(br, bc) < threshold) zero_block(mask, block_size, br, bc);
+    }
+  }
+  return mask;
+}
+
+SparsityMask block_mask_from_selection(
+    std::size_t rows, std::size_t cols, std::size_t block_size,
+    const std::vector<std::pair<std::size_t, std::size_t>>& zero_blocks) {
+  ODONN_CHECK(block_size >= 1, "block_mask_from_selection: bad block size");
+  SparsityMask mask = full_mask(rows, cols);
+  const std::size_t tr = (rows + block_size - 1) / block_size;
+  const std::size_t tc = (cols + block_size - 1) / block_size;
+  for (const auto& [br, bc] : zero_blocks) {
+    ODONN_CHECK_SHAPE(br < tr && bc < tc,
+                      "block_mask_from_selection: block out of range");
+    zero_block(mask, block_size, br, bc);
+  }
+  return mask;
+}
+
+}  // namespace odonn::sparsify

@@ -1,0 +1,43 @@
+// Block sparsification (paper §III-C1, Fig. 3a): the weight matrix is
+// partitioned into equal-sized blocks; whole blocks whose L2 norm falls
+// below a threshold (or percentile rank) are zeroed. Operating on blocks
+// rather than elements leaves contiguous cleared areas, which is what gives
+// block sparsity the lowest roughness of the three schemes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sparsify/mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::sparsify {
+
+struct BlockSparsifyOptions {
+  std::size_t block_size = 2;
+  /// Fraction of blocks to zero (by ascending L2 norm). Ties broken by
+  /// block scan order for determinism.
+  double ratio = 0.1;
+};
+
+/// Per-block L2 norms, shape ceil(rows/b) x ceil(cols/b); partial edge
+/// blocks use their true extent.
+MatrixD block_l2_norms(const MatrixD& weights, std::size_t block_size);
+
+/// Mask zeroing the `ratio` fraction of blocks with smallest L2 norm.
+SparsityMask block_sparsify(const MatrixD& weights,
+                            const BlockSparsifyOptions& options);
+
+/// Mask zeroing every block whose L2 norm is strictly below `threshold`.
+SparsityMask block_sparsify_threshold(const MatrixD& weights,
+                                      std::size_t block_size,
+                                      double threshold);
+
+/// Mask zeroing an explicit set of blocks (block-grid coordinates); used by
+/// tests to reproduce the paper's illustrative figures exactly.
+SparsityMask block_mask_from_selection(std::size_t rows, std::size_t cols,
+                                       std::size_t block_size,
+                                       const std::vector<std::pair<std::size_t, std::size_t>>& zero_blocks);
+
+}  // namespace odonn::sparsify

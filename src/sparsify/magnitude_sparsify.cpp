@@ -1,0 +1,42 @@
+#include "sparsify/magnitude_sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace odonn::sparsify {
+
+SparsityMask magnitude_sparsify(const MatrixD& weights,
+                                const MagnitudeSparsifyOptions& options) {
+  ODONN_CHECK(!weights.empty(), "magnitude_sparsify: empty weights");
+  ODONN_CHECK(options.ratio >= 0.0 && options.ratio <= 1.0,
+              "magnitude_sparsify: ratio must be in [0, 1]");
+  const std::size_t to_zero = static_cast<std::size_t>(
+      std::llround(options.ratio * static_cast<double>(weights.size())));
+  SparsityMask mask = full_mask(weights.rows(), weights.cols());
+  if (to_zero == 0) return mask;
+
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return std::abs(weights[a]) < std::abs(weights[b]);
+                   });
+  for (std::size_t i = 0; i < to_zero; ++i) mask[order[i]] = 0;
+  return mask;
+}
+
+SparsityMask magnitude_sparsify_threshold(const MatrixD& weights,
+                                          double threshold) {
+  ODONN_CHECK(!weights.empty(), "magnitude_sparsify_threshold: empty weights");
+  SparsityMask mask = full_mask(weights.rows(), weights.cols());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (std::abs(weights[i]) < threshold) mask[i] = 0;
+  }
+  return mask;
+}
+
+}  // namespace odonn::sparsify

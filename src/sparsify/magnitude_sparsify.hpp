@@ -1,0 +1,24 @@
+// Non-structured magnitude sparsification (paper §III-C1, Fig. 3b; Han et
+// al. 2015): individual weights with the smallest absolute value are zeroed,
+// regardless of position. Highest flexibility, but the surviving weights are
+// scattered — which is why it scores worse on roughness than block sparsity.
+#pragma once
+
+#include "sparsify/mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace odonn::sparsify {
+
+struct MagnitudeSparsifyOptions {
+  /// Fraction of elements to zero (by ascending |w|, ties by scan order).
+  double ratio = 0.1;
+};
+
+SparsityMask magnitude_sparsify(const MatrixD& weights,
+                                const MagnitudeSparsifyOptions& options);
+
+/// Zeroes every element with |w| strictly below `threshold`.
+SparsityMask magnitude_sparsify_threshold(const MatrixD& weights,
+                                          double threshold);
+
+}  // namespace odonn::sparsify

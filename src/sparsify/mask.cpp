@@ -1,0 +1,37 @@
+#include "sparsify/mask.hpp"
+
+#include "common/error.hpp"
+
+namespace odonn::sparsify {
+
+double sparsity_ratio(const SparsityMask& mask) {
+  ODONN_CHECK(!mask.empty(), "sparsity_ratio: empty mask");
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == 0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(mask.size());
+}
+
+std::size_t kept_count(const SparsityMask& mask) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] != 0) ++kept;
+  }
+  return kept;
+}
+
+void apply_mask(MatrixD& weights, const SparsityMask& mask) {
+  ODONN_CHECK_SHAPE(weights.rows() == mask.rows() &&
+                        weights.cols() == mask.cols(),
+                    "apply_mask: shape mismatch");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (mask[i] == 0) weights[i] = 0.0;
+  }
+}
+
+SparsityMask full_mask(std::size_t rows, std::size_t cols) {
+  return SparsityMask(rows, cols, 1);
+}
+
+}  // namespace odonn::sparsify

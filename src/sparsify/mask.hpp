@@ -1,0 +1,26 @@
+// Binary sparsity masks: 1 = keep, 0 = zeroed pixel. Produced by the three
+// sparsification schemes and applied multiplicatively to phase masks both in
+// training (mask-frozen updates) and at deployment.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace odonn::sparsify {
+
+using SparsityMask = MatrixU8;
+
+/// Fraction of zeroed entries in [0, 1].
+double sparsity_ratio(const SparsityMask& mask);
+
+/// Number of kept (non-zero) entries.
+std::size_t kept_count(const SparsityMask& mask);
+
+/// Zeroes the weights wherever the mask is 0 (in place).
+void apply_mask(MatrixD& weights, const SparsityMask& mask);
+
+/// Returns an all-ones (keep everything) mask.
+SparsityMask full_mask(std::size_t rows, std::size_t cols);
+
+}  // namespace odonn::sparsify

@@ -1,0 +1,46 @@
+#include "sparsify/schemes.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace odonn::sparsify {
+
+Scheme parse_scheme(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "block") return Scheme::Block;
+  if (low == "nonstructured" || low == "non-structured" || low == "magnitude") {
+    return Scheme::NonStructured;
+  }
+  if (low == "bank" || low == "bank-balanced" || low == "bankbalanced") {
+    return Scheme::BankBalanced;
+  }
+  throw ConfigError("unknown sparsification scheme '" + name + "'");
+}
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::Block: return "block";
+    case Scheme::NonStructured: return "nonstructured";
+    case Scheme::BankBalanced: return "bank";
+  }
+  return "?";
+}
+
+SparsityMask sparsify(const MatrixD& weights, const SchemeOptions& options) {
+  switch (options.scheme) {
+    case Scheme::Block:
+      return block_sparsify(weights, {options.block_size, options.ratio});
+    case Scheme::NonStructured:
+      return magnitude_sparsify(weights, {options.ratio});
+    case Scheme::BankBalanced:
+      return bank_balanced_sparsify(weights,
+                                    {options.bank_size, options.ratio});
+  }
+  throw ConfigError("unhandled sparsification scheme");
+}
+
+}  // namespace odonn::sparsify

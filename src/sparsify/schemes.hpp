@@ -1,0 +1,28 @@
+// Unified front-end over the three sparsification schemes so recipes,
+// benches and the Fig. 3 comparison can switch by name.
+#pragma once
+
+#include <string>
+
+#include "sparsify/bank_balanced.hpp"
+#include "sparsify/block_sparsify.hpp"
+#include "sparsify/magnitude_sparsify.hpp"
+
+namespace odonn::sparsify {
+
+enum class Scheme { Block, NonStructured, BankBalanced };
+
+/// Parses "block" | "nonstructured" | "bank" (case-insensitive).
+Scheme parse_scheme(const std::string& name);
+const char* scheme_name(Scheme scheme);
+
+struct SchemeOptions {
+  Scheme scheme = Scheme::Block;
+  double ratio = 0.1;
+  std::size_t block_size = 2;  ///< block schemes
+  std::size_t bank_size = 3;   ///< bank-balanced
+};
+
+SparsityMask sparsify(const MatrixD& weights, const SchemeOptions& options);
+
+}  // namespace odonn::sparsify

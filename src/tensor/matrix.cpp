@@ -1,0 +1,41 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace odonn {
+
+std::string shape_string(std::size_t rows, std::size_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+double max_abs_diff(const MatrixD& a, const MatrixD& b) {
+  ODONN_CHECK_SHAPE(a.same_shape(b), "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double max_abs_diff(const MatrixC& a, const MatrixC& b) {
+  ODONN_CHECK_SHAPE(a.same_shape(b), "max_abs_diff shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+double frobenius_norm(const MatrixD& m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) acc += m[i] * m[i];
+  return std::sqrt(acc);
+}
+
+double frobenius_norm(const MatrixC& m) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) acc += std::norm(m[i]);
+  return std::sqrt(acc);
+}
+
+}  // namespace odonn

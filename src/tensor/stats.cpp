@@ -1,0 +1,56 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn {
+
+double mean(const MatrixD& m) {
+  ODONN_CHECK(!m.empty(), "mean of empty matrix");
+  return m.sum() / static_cast<double>(m.size());
+}
+
+double variance(const MatrixD& m) {
+  ODONN_CHECK(!m.empty(), "variance of empty matrix");
+  const double mu = mean(m);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double d = m[i] - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(m.size());
+}
+
+double stddev(const MatrixD& m) { return std::sqrt(variance(m)); }
+
+double min_value(const MatrixD& m) {
+  ODONN_CHECK(!m.empty(), "min of empty matrix");
+  return *std::min_element(m.begin(), m.end());
+}
+
+double max_value(const MatrixD& m) {
+  ODONN_CHECK(!m.empty(), "max of empty matrix");
+  return *std::max_element(m.begin(), m.end());
+}
+
+double percentile(std::vector<double> values, double q) {
+  ODONN_CHECK(!values.empty(), "percentile of empty vector");
+  ODONN_CHECK(q >= 0.0 && q <= 100.0, "percentile q must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double abs_percentile(const MatrixD& m, double q) {
+  std::vector<double> mags(m.size());
+  for (std::size_t i = 0; i < m.size(); ++i) mags[i] = std::abs(m[i]);
+  return percentile(std::move(mags), q);
+}
+
+}  // namespace odonn

@@ -1,0 +1,29 @@
+// Scalar statistics over matrices — used by the sparsifiers (percentile
+// thresholds), intra-block smoothness (variance) and bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace odonn {
+
+double mean(const MatrixD& m);
+
+/// Population variance (divide by N), matching the paper's per-block
+/// variance in Fig. 4.
+double variance(const MatrixD& m);
+double stddev(const MatrixD& m);
+
+double min_value(const MatrixD& m);
+double max_value(const MatrixD& m);
+
+/// q-th percentile (q in [0, 100]) with linear interpolation between ranks,
+/// matching numpy.percentile's default. Input copied and sorted.
+double percentile(std::vector<double> values, double q);
+
+/// Percentile of |values| of a matrix (used by magnitude sparsifiers).
+double abs_percentile(const MatrixD& m, double q);
+
+}  // namespace odonn

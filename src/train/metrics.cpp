@@ -1,0 +1,54 @@
+#include "train/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace odonn::train {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), counts_(num_classes * num_classes, 0) {
+  ODONN_CHECK(num_classes >= 1, "confusion matrix: need >= 1 class");
+}
+
+void ConfusionMatrix::add(std::size_t predicted, std::size_t truth) {
+  ODONN_CHECK(predicted < n_ && truth < n_,
+              "confusion matrix: class out of range");
+  ++counts_[predicted * n_ + truth];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  ODONN_CHECK_SHAPE(other.n_ == n_, "confusion matrix: size mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t predicted,
+                                   std::size_t truth) const {
+  ODONN_CHECK(predicted < n_ && truth < n_,
+              "confusion matrix: class out of range");
+  return counts_[predicted * n_ + truth];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += counts_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> recall(n_, 0.0);
+  for (std::size_t truth = 0; truth < n_; ++truth) {
+    std::size_t class_total = 0;
+    for (std::size_t pred = 0; pred < n_; ++pred) {
+      class_total += counts_[pred * n_ + truth];
+    }
+    if (class_total > 0) {
+      recall[truth] = static_cast<double>(counts_[truth * n_ + truth]) /
+                      static_cast<double>(class_total);
+    }
+  }
+  return recall;
+}
+
+}  // namespace odonn::train

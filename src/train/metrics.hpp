@@ -1,0 +1,29 @@
+// Classification metrics: running accuracy and a confusion matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace odonn::train {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t predicted, std::size_t truth);
+  void merge(const ConfusionMatrix& other);
+
+  std::size_t num_classes() const { return n_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t predicted, std::size_t truth) const;
+
+  double accuracy() const;
+  std::vector<double> per_class_recall() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  ///< counts_[pred * n + truth]
+};
+
+}  // namespace odonn::train

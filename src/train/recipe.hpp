@@ -1,0 +1,76 @@
+// Experiment recipes reproducing the paper's model variants (§IV-B):
+//   Baseline — plain DONN training ([5],[6],[8] row of Tables II-V)
+//   Ours-A   — roughness-aware training (Eq. 5)
+//   Ours-B   — SLR block sparsification
+//   Ours-C   — sparsity + roughness
+//   Ours-D   — sparsity + roughness + intra-block smoothness (Eq. 8)
+// Every recipe reports test accuracy, R_overall before the 2*pi
+// optimization, R_overall after it (§III-D2), and — as an extension — the
+// accuracy under the interpixel-crosstalk deployment emulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "donn/model.hpp"
+#include "smooth2pi/two_pi_opt.hpp"
+#include "train/trainer.hpp"
+
+namespace odonn::train {
+
+enum class RecipeKind { Baseline, OursA, OursB, OursC, OursD };
+
+const char* recipe_name(RecipeKind kind);
+RecipeKind parse_recipe(const std::string& name);
+
+struct RecipeOptions {
+  donn::DonnConfig model = donn::DonnConfig::scaled(64);
+  std::size_t epochs_dense = 3;     ///< paper: 50-150 depending on dataset
+  std::size_t epochs_sparse = 2;    ///< SLR training epochs
+  std::size_t epochs_finetune = 1;  ///< mask-frozen recovery epochs
+  double lr_dense = 0.2;            ///< paper §IV-A2
+  double lr_sparse = 0.001;         ///< paper §IV-A2
+  std::size_t batch_size = 200;
+  /// Regularization factors. Both regularizers are normalized per pixel /
+  /// per block by the trainer, which makes p grid-size invariant: the
+  /// paper's published p = 0.1 (Fig. 6c inflection) transfers directly.
+  /// q is not directly comparable to the paper's scale (their long, large-
+  /// batch training yields near-flat masks whose per-block variances are
+  /// orders of magnitude below ours); 0.03 reproduces the Ours-D shape and
+  /// the Fig. 6d sweep locates the inflection empirically.
+  double roughness_p = 0.1;
+  double intra_q = 0.03;
+  roughness::RoughnessOptions roughness = {};
+  roughness::IntraBlockOptions intra = {};
+  slr::SlrOptions slr = {};         ///< scheme filled from this config
+  sparsify::SchemeOptions scheme{sparsify::Scheme::Block, 0.1, 5, 3};
+  smooth2pi::TwoPiOptions two_pi = {};
+  donn::CrosstalkOptions crosstalk = {};
+  donn::LossOptions loss = {};
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct RecipeResult {
+  std::string name;
+  double accuracy = 0.0;           ///< simulated test accuracy
+  double roughness_before = 0.0;   ///< R_overall before 2*pi optimization
+  double roughness_after = 0.0;    ///< R_overall after 2*pi optimization
+  double deployed_accuracy = 0.0;  ///< accuracy under crosstalk emulation
+  double deployed_accuracy_after_2pi = 0.0;
+  double sparsity = 0.0;           ///< achieved zero fraction (0 if dense)
+  std::vector<MatrixD> trained_phases;   ///< per-layer masks after training
+  std::vector<MatrixD> smoothed_phases;  ///< after the 2*pi optimization
+};
+
+/// Runs one recipe end to end on pre-resized train/test datasets.
+RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
+                        const data::Dataset& train, const data::Dataset& test);
+
+/// Runs all five recipes (a full table) and returns the rows in paper order.
+std::vector<RecipeResult> run_table(const RecipeOptions& options,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test);
+
+}  // namespace odonn::train

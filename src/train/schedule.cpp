@@ -1,0 +1,51 @@
+#include "train/schedule.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace odonn::train {
+
+ConstantLr::ConstantLr(double lr) : lr_(lr) {
+  ODONN_CHECK(lr > 0.0, "schedule: lr must be positive");
+}
+
+double ConstantLr::at(std::size_t) const { return lr_; }
+
+StepDecayLr::StepDecayLr(double lr, double gamma, std::size_t period)
+    : lr_(lr), gamma_(gamma), period_(period) {
+  ODONN_CHECK(lr > 0.0, "schedule: lr must be positive");
+  ODONN_CHECK(gamma > 0.0 && gamma <= 1.0, "schedule: gamma must be in (0, 1]");
+  ODONN_CHECK(period >= 1, "schedule: period must be >= 1");
+}
+
+double StepDecayLr::at(std::size_t epoch) const {
+  return lr_ * std::pow(gamma_, static_cast<double>(epoch / period_));
+}
+
+CosineLr::CosineLr(double lr, double lr_min, std::size_t total_epochs)
+    : lr_(lr), lr_min_(lr_min), total_(std::max<std::size_t>(total_epochs, 1)) {
+  ODONN_CHECK(lr > 0.0 && lr_min > 0.0, "schedule: lr must be positive");
+  ODONN_CHECK(lr_min <= lr, "schedule: lr_min must not exceed lr");
+}
+
+double CosineLr::at(std::size_t epoch) const {
+  const double t = std::min(1.0, static_cast<double>(epoch) /
+                                     static_cast<double>(total_));
+  return lr_min_ + 0.5 * (lr_ - lr_min_) * (1.0 + std::cos(M_PI * t));
+}
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, double lr,
+                                          std::size_t total_epochs) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (low == "constant") return std::make_unique<ConstantLr>(lr);
+  if (low == "step") return std::make_unique<StepDecayLr>(lr, 0.5, std::max<std::size_t>(1, total_epochs / 3));
+  if (low == "cosine") return std::make_unique<CosineLr>(lr, lr * 0.01, total_epochs);
+  throw ConfigError("unknown schedule '" + name + "'");
+}
+
+}  // namespace odonn::train

@@ -1,0 +1,51 @@
+// Learning-rate schedules (constant / step decay / cosine).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace odonn::train {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate for the given zero-based epoch.
+  virtual double at(std::size_t epoch) const = 0;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr);
+  double at(std::size_t epoch) const override;
+
+ private:
+  double lr_;
+};
+
+class StepDecayLr final : public LrSchedule {
+ public:
+  /// lr * gamma^(epoch / period)
+  StepDecayLr(double lr, double gamma, std::size_t period);
+  double at(std::size_t epoch) const override;
+
+ private:
+  double lr_, gamma_;
+  std::size_t period_;
+};
+
+class CosineLr final : public LrSchedule {
+ public:
+  /// Cosine anneal from lr to lr_min across total_epochs.
+  CosineLr(double lr, double lr_min, std::size_t total_epochs);
+  double at(std::size_t epoch) const override;
+
+ private:
+  double lr_, lr_min_;
+  std::size_t total_;
+};
+
+std::unique_ptr<LrSchedule> make_schedule(const std::string& name, double lr,
+                                          std::size_t total_epochs);
+
+}  // namespace odonn::train

@@ -1,0 +1,245 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "optics/encode.hpp"
+#include "train/schedule.hpp"
+
+namespace odonn::train {
+
+namespace {
+
+void check_dataset(const donn::DonnModel& model, const data::Dataset& ds,
+                   const char* what) {
+  ODONN_CHECK(!ds.empty(), std::string(what) + ": empty dataset");
+  ODONN_CHECK_SHAPE(ds.image(0).rows() == model.config().grid.n &&
+                        ds.image(0).cols() == model.config().grid.n,
+                    std::string(what) +
+                        ": images must be pre-resized to the model grid");
+  ODONN_CHECK(ds.num_classes() == model.config().num_classes,
+              std::string(what) + ": class count mismatch");
+}
+
+/// Deterministic batch-parallel accumulation: the batch is cut into a fixed
+/// number of slices; each slice owns a private gradient set; slices are
+/// reduced in index order.
+struct SliceAccumulator {
+  std::vector<std::vector<MatrixD>> grads;
+  std::vector<double> losses;
+  std::vector<std::size_t> correct;
+
+  SliceAccumulator(std::size_t slices, const donn::DonnModel& model)
+      : grads(slices), losses(slices, 0.0), correct(slices, 0) {
+    for (auto& g : grads) g = model.zero_gradients();
+  }
+};
+
+}  // namespace
+
+Trainer::Trainer(donn::DonnModel& model, const data::Dataset& train,
+                 const TrainOptions& options)
+    : model_(model), train_(train), options_(options), rng_(options.seed) {
+  check_dataset(model, train, "trainer");
+  ODONN_CHECK(options.batch_size >= 1, "trainer: batch_size must be >= 1");
+  ODONN_CHECK(!(options.slr && options.admm),
+              "trainer: attach at most one compression state");
+  optimizer_ = make_optimizer(options.optimizer, options.lr);
+}
+
+void Trainer::compress_round(double surrogate_loss) {
+  if (options_.slr != nullptr) {
+    options_.slr->round(model_.phases(), surrogate_loss);
+  } else if (options_.admm != nullptr) {
+    options_.admm->round(model_.phases());
+  }
+}
+
+EpochStats Trainer::run_epoch() {
+  // Epoch-wise augmentation: train this pass on a freshly jittered copy.
+  data::Dataset augmented;
+  const data::Dataset& epoch_data =
+      options_.augment
+          ? (augmented = data::augment_dataset(train_, rng_,
+                                               options_.augment_options),
+             augmented)
+          : train_;
+
+  const std::size_t count = epoch_data.size();
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order);
+
+  const std::size_t slices = std::max<std::size_t>(1, thread_count());
+  const std::size_t batches = (count + options_.batch_size - 1) / options_.batch_size;
+  const std::size_t rounds = std::max<std::size_t>(1, options_.compress_rounds_per_epoch);
+  const std::size_t round_every = std::max<std::size_t>(1, batches / rounds);
+
+  double epoch_loss = 0.0;
+  std::size_t epoch_correct = 0;
+  double last_surrogate = 0.0;
+
+  for (std::size_t batch = 0; batch < batches; ++batch) {
+    const std::size_t begin = batch * options_.batch_size;
+    const std::size_t end = std::min(count, begin + options_.batch_size);
+    const std::size_t batch_count = end - begin;
+
+    SliceAccumulator acc(slices, model_);
+    parallel_for(0, slices, [&](std::size_t s) {
+      for (std::size_t i = begin + s; i < end; i += slices) {
+        const std::size_t idx = order[i];
+        const optics::Field input = optics::encode_image(
+            epoch_data.image(idx), model_.config().grid, options_.encode);
+        const auto result = model_.forward_backward(
+            input, epoch_data.label(idx), acc.grads[s], options_.loss);
+        acc.losses[s] += result.loss;
+        if (result.predicted == epoch_data.label(idx)) ++acc.correct[s];
+      }
+    });
+
+    // Reduce slices in index order (deterministic for a fixed thread count).
+    auto grads = std::move(acc.grads[0]);
+    double batch_loss = acc.losses[0];
+    std::size_t batch_correct = acc.correct[0];
+    for (std::size_t s = 1; s < slices; ++s) {
+      for (std::size_t l = 0; l < grads.size(); ++l) grads[l] += acc.grads[s][l];
+      batch_loss += acc.losses[s];
+      batch_correct += acc.correct[s];
+    }
+    const double inv_batch = 1.0 / static_cast<double>(batch_count);
+    for (auto& g : grads) g *= inv_batch;
+
+    // Regularizers (functions of the weights, added once per batch).
+    // Normalized per pixel / per block so the factors p, q are independent
+    // of the grid size (see RegularizerOptions).
+    double reg_value = 0.0;
+    auto& phases = model_.phases();
+    for (std::size_t l = 0; l < phases.size(); ++l) {
+      if (options_.reg.roughness_p > 0.0) {
+        const double scale = options_.reg.roughness_p /
+                             static_cast<double>(phases[l].size());
+        reg_value += scale *
+                     roughness::roughness_with_grad(phases[l], grads[l],
+                                                    scale,
+                                                    options_.reg.roughness);
+      }
+      if (options_.reg.intra_q > 0.0) {
+        const std::size_t b = options_.reg.intra.block_size;
+        const std::size_t blocks = ((phases[l].rows() + b - 1) / b) *
+                                   ((phases[l].cols() + b - 1) / b);
+        const double scale =
+            options_.reg.intra_q / static_cast<double>(blocks);
+        reg_value += scale * roughness::intra_block_variance_with_grad(
+                                 phases[l], grads[l], scale,
+                                 options_.reg.intra);
+      }
+    }
+
+    // Compression penalty.
+    double penalty = 0.0;
+    if (options_.slr != nullptr) {
+      penalty = options_.slr->penalty_value(phases);
+      options_.slr->add_penalty_gradient(phases, grads);
+    } else if (options_.admm != nullptr) {
+      penalty = options_.admm->penalty_value(phases);
+      options_.admm->add_penalty_gradient(phases, grads);
+    }
+
+    model_.mask_gradients(grads);
+    optimizer_->step(phases, grads);
+    model_.apply_masks();
+
+    epoch_loss += batch_loss;
+    epoch_correct += batch_correct;
+    last_surrogate = batch_loss * inv_batch + reg_value + penalty;
+    if ((options_.slr != nullptr || options_.admm != nullptr) &&
+        (batch + 1) % round_every == 0) {
+      compress_round(last_surrogate);
+    }
+  }
+
+  ++epoch_;
+
+  EpochStats stats;
+  stats.data_loss = epoch_loss / static_cast<double>(count);
+  stats.train_accuracy =
+      static_cast<double>(epoch_correct) / static_cast<double>(count);
+  const auto& phases = model_.phases();
+  for (const auto& phi : phases) {
+    if (options_.reg.roughness_p > 0.0) {
+      stats.reg_loss += options_.reg.roughness_p / static_cast<double>(phi.size()) *
+                        roughness::mask_roughness(phi, options_.reg.roughness);
+    }
+    if (options_.reg.intra_q > 0.0) {
+      const std::size_t b = options_.reg.intra.block_size;
+      const std::size_t blocks = ((phi.rows() + b - 1) / b) *
+                                 ((phi.cols() + b - 1) / b);
+      stats.reg_loss += options_.reg.intra_q / static_cast<double>(blocks) *
+                        roughness::intra_block_variance_sum(phi,
+                                                            options_.reg.intra);
+    }
+  }
+  if (options_.slr != nullptr) {
+    stats.penalty_loss = options_.slr->penalty_value(phases);
+  } else if (options_.admm != nullptr) {
+    stats.penalty_loss = options_.admm->penalty_value(phases);
+  }
+  if (options_.verbose) {
+    log::info() << "epoch " << epoch_ << " loss " << stats.data_loss
+                << " acc " << stats.train_accuracy << " reg " << stats.reg_loss
+                << " penalty " << stats.penalty_loss;
+  }
+  if (!std::isfinite(stats.data_loss)) {
+    throw NumericsError("training loss diverged (non-finite)");
+  }
+  return stats;
+}
+
+std::vector<EpochStats> Trainer::run() {
+  const auto schedule =
+      make_schedule(options_.schedule, options_.lr, options_.epochs);
+  std::vector<EpochStats> history;
+  history.reserve(options_.epochs);
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    optimizer_->set_lr(schedule->at(e));
+    history.push_back(run_epoch());
+  }
+  return history;
+}
+
+double evaluate_accuracy(const donn::DonnModel& model,
+                         const data::Dataset& test,
+                         const optics::EncodeOptions& encode) {
+  check_dataset(model, test, "evaluate");
+  std::vector<std::uint8_t> hits(test.size(), 0);
+  parallel_for(0, test.size(), [&](std::size_t i) {
+    const optics::Field input =
+        optics::encode_image(test.image(i), model.config().grid, encode);
+    hits[i] = model.predict(input) == test.label(i) ? 1 : 0;
+  });
+  std::size_t correct = 0;
+  for (auto h : hits) correct += h;
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double evaluate_deployed_accuracy(const donn::DonnModel& model,
+                                  const data::Dataset& test,
+                                  const donn::CrosstalkOptions& crosstalk,
+                                  const optics::EncodeOptions& encode) {
+  // Copy the model and corrupt its phases with the crosstalk emulation.
+  donn::DonnModel deployed = model;
+  std::vector<MatrixD> corrupted;
+  corrupted.reserve(model.phases().size());
+  for (const auto& phi : model.phases()) {
+    corrupted.push_back(donn::apply_crosstalk(phi, crosstalk));
+  }
+  deployed.clear_masks();  // corrupted masks are dense surfaces
+  deployed.set_phases(std::move(corrupted));
+  return evaluate_accuracy(deployed, test, encode);
+}
+
+}  // namespace odonn::train

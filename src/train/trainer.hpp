@@ -1,0 +1,109 @@
+// Mini-batch trainer for DonnModel with the paper's regularizers and the
+// SLR/ADMM compression hooks.
+//
+// Per batch:  grad = (1/B) sum_samples dLoss/dphi            (batch-parallel)
+//           + p * dR(W)/dW + q * dR_intra(W)/dW              (Eq. 5 / Eq. 8)
+//           + dPenalty/dW from the SLR or ADMM state (if attached)
+// then masked-gradient zeroing (if sparsity masks are frozen), optimizer
+// step, and mask re-application. Compression rounds (Z-step + multiplier
+// updates) run a fixed number of times per epoch.
+//
+// Images are expected to be pre-resized to the optical grid (use
+// data::resize_dataset); encoding to a coherent field happens on the fly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "donn/crosstalk.hpp"
+#include "donn/model.hpp"
+#include "roughness/intra_block.hpp"
+#include "roughness/roughness.hpp"
+#include "slr/admm.hpp"
+#include "slr/slr.hpp"
+#include "train/optim.hpp"
+
+namespace odonn::train {
+
+struct RegularizerOptions {
+  /// Eq. 5 factor p (0 disables). The trainer normalizes R(W) per pixel, so
+  /// p is grid-size invariant: the paper's published inflection point
+  /// p ~ 0.1 (Fig. 6c) applies unchanged at reduced CPU scales.
+  double roughness_p = 0.0;
+  /// Eq. 8 factor q (0 disables); R_intra is normalized per block for the
+  /// same reason (paper inflection at log q = 1, Fig. 6d).
+  double intra_q = 0.0;
+  roughness::RoughnessOptions roughness = {};
+  roughness::IntraBlockOptions intra = {};
+};
+
+struct TrainOptions {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 200;  ///< paper batch size
+  double lr = 0.2;               ///< paper baseline lr (Adam)
+  std::string optimizer = "adam";
+  std::string schedule = "constant";
+  donn::LossOptions loss = {};
+  optics::EncodeOptions encode = {};
+  RegularizerOptions reg = {};
+  /// When enabled, each epoch trains on a freshly augmented copy of the
+  /// training set (random affine + noise, data/augment.hpp).
+  bool augment = false;
+  data::AugmentOptions augment_options = {};
+  std::uint64_t seed = 7;
+  /// Optional compression state; at most one may be attached.
+  slr::SlrState* slr = nullptr;
+  slr::AdmmState* admm = nullptr;
+  std::size_t compress_rounds_per_epoch = 4;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double data_loss = 0.0;      ///< mean per-sample loss
+  double reg_loss = 0.0;       ///< p*R + q*R_intra at epoch end
+  double penalty_loss = 0.0;   ///< SLR/ADMM penalty at epoch end
+  double train_accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  /// `train` images must already match the model grid.
+  Trainer(donn::DonnModel& model, const data::Dataset& train,
+          const TrainOptions& options);
+
+  /// One full pass over the training set.
+  EpochStats run_epoch();
+
+  /// All configured epochs; returns per-epoch stats.
+  std::vector<EpochStats> run();
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  void compress_round(double surrogate_loss);
+
+  donn::DonnModel& model_;
+  const data::Dataset& train_;
+  TrainOptions options_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Rng rng_;
+  std::size_t epoch_ = 0;
+};
+
+/// Test-set accuracy of a model (batch-parallel). Images must match the
+/// model grid.
+double evaluate_accuracy(const donn::DonnModel& model,
+                         const data::Dataset& test,
+                         const optics::EncodeOptions& encode = {});
+
+/// Accuracy with every phase mask passed through the interpixel-crosstalk
+/// deployment model first (DESIGN.md §2) — the "physical deployment" column.
+double evaluate_deployed_accuracy(const donn::DonnModel& model,
+                                  const data::Dataset& test,
+                                  const donn::CrosstalkOptions& crosstalk,
+                                  const optics::EncodeOptions& encode = {});
+
+}  // namespace odonn::train

@@ -1,0 +1,220 @@
+// Tests for src/common: RNG determinism and distributions, config parsing,
+// parallel loops, logging, error machinery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace odonn {
+namespace {
+
+TEST(Error, CheckMacroThrowsWithLocation) {
+  try {
+    ODONN_CHECK(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, ShapeCheckThrowsShapeError) {
+  EXPECT_THROW(ODONN_CHECK_SHAPE(false, "bad shape"), ShapeError);
+}
+
+TEST(Error, HierarchyCatchesSubclasses) {
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw NumericsError("x"), Error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GumbelMeanIsEulerGamma) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRangeUnbiased) {
+  Rng rng(23);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 5);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent's outputs.
+  Rng parent2(5);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "grid=64", "--lr=0.5", "name=test"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("grid", 0), 64);
+  EXPECT_DOUBLE_EQ(cfg.get_double("lr", 0.0), 0.5);
+  EXPECT_EQ(cfg.get_string("name", ""), "test");
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+}
+
+TEST(Config, RejectsMalformedArgs) {
+  const char* argv[] = {"prog", "no-equals"};
+  EXPECT_THROW(Config::from_args(2, argv), ConfigError);
+}
+
+TEST(Config, RejectsBadTypedValues) {
+  const char* argv[] = {"prog", "x=abc"};
+  const Config cfg = Config::from_args(2, argv);
+  EXPECT_THROW(cfg.get_int("x", 0), ConfigError);
+  EXPECT_THROW(cfg.get_double("x", 0.0), ConfigError);
+  EXPECT_THROW(cfg.get_bool("x", false), ConfigError);
+}
+
+TEST(Config, ParsesBools) {
+  const char* argv[] = {"prog", "a=true", "b=0", "c=YES", "d=off"};
+  const Config cfg = Config::from_args(5, argv);
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SumIsDeterministicAndCorrect) {
+  const auto f = [](std::size_t i) {
+    return std::sin(static_cast<double>(i)) * 1e-3;
+  };
+  const double a = parallel_sum(0, 100000, f);
+  const double b = parallel_sum(0, 100000, f);
+  EXPECT_EQ(a, b);  // bitwise deterministic
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 100000; ++i) serial += f(i);
+  EXPECT_NEAR(a, serial, 1e-9);
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(parallel_for(0, 100,
+                            [](std::size_t i) {
+                              if (i == 50) throw Error("boom");
+                            }),
+               Error);
+}
+
+TEST(Parallel, NestedCallsRunInline) {
+  std::atomic<int> total{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Log, ParseLevelAcceptsKnownNames) {
+  EXPECT_EQ(log::parse_level("error"), log::Level::Error);
+  EXPECT_EQ(log::parse_level("WARN"), log::Level::Warn);
+  EXPECT_EQ(log::parse_level("Info"), log::Level::Info);
+  EXPECT_EQ(log::parse_level("debug"), log::Level::Debug);
+  EXPECT_THROW(log::parse_level("loud"), ConfigError);
+}
+
+TEST(Log, SetLevelRoundTrips) {
+  const auto old = log::level();
+  log::set_level(log::Level::Error);
+  EXPECT_EQ(log::level(), log::Level::Error);
+  log::set_level(old);
+}
+
+}  // namespace
+}  // namespace odonn

@@ -1,0 +1,341 @@
+// Tests for src/donn: detector geometry, losses (with gradient checks), the
+// DiffMod backward, full-model gradient checks against finite differences,
+// 2*pi inference invariance, sparsity masking and the crosstalk model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "donn/crosstalk.hpp"
+#include "donn/detector.hpp"
+#include "donn/gradcheck.hpp"
+#include "donn/loss.hpp"
+#include "donn/model.hpp"
+#include "donn/phase_mask.hpp"
+#include "optics/encode.hpp"
+#include "roughness/roughness.hpp"
+
+namespace odonn::donn {
+namespace {
+
+DonnConfig tiny_config(std::size_t n = 16, std::size_t layers = 2) {
+  DonnConfig cfg = DonnConfig::scaled(n);
+  cfg.num_layers = layers;
+  return cfg;
+}
+
+optics::Field random_input(const optics::GridSpec& grid, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixD image(grid.n, grid.n);
+  for (auto& v : image) v = rng.uniform();
+  return optics::encode_image(image, grid);
+}
+
+TEST(PhaseMask, RandomInitInRange) {
+  Rng rng(1);
+  const MatrixD phi = random_phase_mask(8, rng);
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    EXPECT_GE(phi[i], 0.0);
+    EXPECT_LT(phi[i], 2.0 * M_PI);
+  }
+}
+
+TEST(PhaseMask, WrapPhaseIntoPrincipalRange) {
+  MatrixD phi = {{-0.5, 7.0}, {13.0, 2.0 * M_PI}};
+  const MatrixD wrapped = wrap_phase(phi);
+  for (std::size_t i = 0; i < wrapped.size(); ++i) {
+    EXPECT_GE(wrapped[i], 0.0);
+    EXPECT_LT(wrapped[i], 2.0 * M_PI);
+  }
+  EXPECT_NEAR(wrapped(0, 0), 2.0 * M_PI - 0.5, 1e-12);
+}
+
+TEST(PhaseMask, ModulationIsUnitMagnitude) {
+  Rng rng(2);
+  const MatrixD phi = random_phase_mask(6, rng);
+  const MatrixC w = modulation(phi);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(std::abs(w[i]), 1.0, 1e-12);
+  }
+}
+
+TEST(Detector, PaperLayoutTenRegions) {
+  const auto layout = DetectorLayout::evenly_spaced(200, 10, 20);
+  EXPECT_EQ(layout.num_classes(), 10u);
+  for (const auto& region : layout.regions()) {
+    EXPECT_EQ(region.size, 20u);
+    EXPECT_LE(region.r0 + region.size, 200u);
+  }
+}
+
+class DetectorLayouts
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DetectorLayouts, FitAndDisjoint) {
+  const auto [grid_n, classes] = GetParam();
+  const std::size_t region = std::max<std::size_t>(2, grid_n / 10);
+  const auto layout = DetectorLayout::evenly_spaced(grid_n, classes, region);
+  EXPECT_EQ(layout.num_classes(), classes);
+  // Disjointness is enforced by the constructor; also check readout of an
+  // all-ones plane sums to classes * region^2.
+  MatrixD ones(grid_n, grid_n, 1.0);
+  const auto sums = layout.readout(ones);
+  for (double s : sums) {
+    EXPECT_DOUBLE_EQ(s, static_cast<double>(region * region));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DetectorLayouts,
+    ::testing::Combine(::testing::Values<std::size_t>(40, 64, 100, 200),
+                       ::testing::Values<std::size_t>(2, 4, 6, 10)));
+
+TEST(Detector, OverlappingRegionsRejected) {
+  EXPECT_THROW(DetectorLayout(10, {{0, 0, 4}, {2, 2, 4}}), ConfigError);
+  EXPECT_THROW(DetectorLayout(10, {{8, 8, 4}}), ConfigError);
+}
+
+TEST(Detector, ReadoutScatterAdjoint) {
+  // <readout(I), g> == <I, scatter(g)> — readout and scatter are adjoint.
+  const auto layout = DetectorLayout::evenly_spaced(20, 4, 3);
+  Rng rng(3);
+  MatrixD intensity(20, 20);
+  for (auto& v : intensity) v = rng.uniform();
+  std::vector<double> g{0.3, -1.2, 0.5, 2.0};
+
+  const auto sums = layout.readout(intensity);
+  double lhs = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) lhs += sums[c] * g[c];
+
+  const MatrixD scattered = layout.scatter(g);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < intensity.size(); ++i) {
+    rhs += intensity[i] * scattered[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+TEST(Detector, PredictReturnsArgmaxRegion) {
+  const auto layout = DetectorLayout::evenly_spaced(20, 4, 3);
+  MatrixD intensity(20, 20, 0.0);
+  const auto& winner = layout.regions()[2];
+  intensity(winner.r0, winner.c0) = 5.0;
+  EXPECT_EQ(layout.predict(intensity), 2u);
+}
+
+TEST(Loss, SoftmaxIsStableAndNormalized) {
+  const auto p = softmax({1000.0, 1001.0, 999.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[0]);
+  EXPECT_GT(p[0], p[2]);
+}
+
+TEST(Loss, PerfectPredictionHasLowLoss) {
+  LossOptions opt;
+  const auto good = evaluate_loss({100.0, 0.1, 0.1, 0.1}, 0, opt);
+  const auto bad = evaluate_loss({100.0, 0.1, 0.1, 0.1}, 1, opt);
+  EXPECT_LT(good.loss, bad.loss);
+  EXPECT_EQ(good.predicted, 0u);
+}
+
+class LossGrad : public ::testing::TestWithParam<std::tuple<LossType, NormMode>> {};
+
+TEST_P(LossGrad, MatchesFiniteDifferences) {
+  const auto [type, norm] = GetParam();
+  LossOptions opt;
+  opt.type = type;
+  opt.norm = norm;
+  const std::vector<double> sums{0.31, 0.12, 0.44, 0.08, 0.21};
+  const std::size_t label = 2;
+  const auto result = evaluate_loss(sums, label, opt);
+
+  const double h = 1e-7;
+  for (std::size_t j = 0; j < sums.size(); ++j) {
+    auto hi = sums, lo = sums;
+    hi[j] += h;
+    lo[j] -= h;
+    const double numeric = (evaluate_loss(hi, label, opt).loss -
+                            evaluate_loss(lo, label, opt).loss) /
+                           (2.0 * h);
+    EXPECT_NEAR(result.grad_sums[j], numeric, 1e-5)
+        << "logit " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, LossGrad,
+    ::testing::Combine(::testing::Values(LossType::SoftmaxMse,
+                                         LossType::CrossEntropy),
+                       ::testing::Values(NormMode::None, NormMode::TotalPower)));
+
+TEST(Loss, InvalidInputsThrow) {
+  EXPECT_THROW(evaluate_loss({1.0}, 0, {}), Error);
+  EXPECT_THROW(evaluate_loss({1.0, 2.0}, 5, {}), Error);
+}
+
+TEST(Model, ForwardIsDeterministic) {
+  Rng rng(7);
+  DonnModel model(tiny_config(), rng);
+  const auto input = random_input(model.config().grid, 11);
+  const auto a = model.detector_sums(input);
+  const auto b = model.detector_sums(input);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Model, EnergyConservedThroughLayers) {
+  // Phase-only modulation and unitary propagation preserve power.
+  Rng rng(8);
+  DonnModel model(tiny_config(32, 3), rng);
+  const auto input = random_input(model.config().grid, 12);
+  const auto output = model.propagate_through(input);
+  EXPECT_NEAR(output.power(), input.power(), 1e-6 * input.power());
+}
+
+TEST(Model, TwoPiPhaseShiftLeavesInferenceInvariant) {
+  // The §III-D2 identity: adding 2*pi to any phase pixel leaves the forward
+  // pass numerically unchanged (up to fp rounding in cos/sin).
+  Rng rng(9);
+  DonnModel model(tiny_config(), rng);
+  const auto input = random_input(model.config().grid, 13);
+  const auto before = model.detector_sums(input);
+
+  auto phases = model.phases();
+  Rng pick(99);
+  for (auto& phi : phases) {
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      if (pick.bernoulli(0.3)) phi[i] += 2.0 * M_PI;
+    }
+  }
+  model.set_phases(std::move(phases));
+  const auto after = model.detector_sums(input);
+  for (std::size_t c = 0; c < before.size(); ++c) {
+    EXPECT_NEAR(after[c], before[c], 1e-9 * (before[c] + 1.0));
+  }
+}
+
+TEST(Model, ForwardBackwardGradientMatchesFiniteDifferences) {
+  Rng rng(10);
+  DonnConfig cfg = tiny_config(16, 2);
+  DonnModel model(cfg, rng);
+  const auto input = random_input(cfg.grid, 14);
+  const std::size_t label = 3;
+  LossOptions loss_opt;
+
+  auto grads = model.zero_gradients();
+  model.forward_backward(input, label, grads, loss_opt);
+
+  // Check a probe subset of each layer's gradient entries numerically.
+  for (std::size_t layer = 0; layer < model.num_layers(); ++layer) {
+    const MatrixD numeric = numerical_gradient(
+        [&](const MatrixD& probe) {
+          DonnModel m2 = model;
+          auto phases = m2.phases();
+          phases[layer] = probe;
+          m2.set_phases(std::move(phases));
+          return evaluate_loss(m2.detector_sums(input), label, loss_opt).loss;
+        },
+        model.phases()[layer], 1e-5);
+    EXPECT_LT(gradient_rel_error(grads[layer], numeric), 2e-4)
+        << "layer " << layer;
+  }
+}
+
+TEST(Model, MasksZeroPhasesAndGradients) {
+  Rng rng(11);
+  DonnModel model(tiny_config(), rng);
+  std::vector<sparsify::SparsityMask> masks;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    sparsify::SparsityMask m(16, 16, 1);
+    m(0, 0) = 0;
+    m(5, 7) = 0;
+    masks.push_back(std::move(m));
+  }
+  model.set_masks(masks);
+  EXPECT_DOUBLE_EQ(model.phases()[0](0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.phases()[1](5, 7), 0.0);
+
+  auto grads = model.zero_gradients();
+  const auto input = random_input(model.config().grid, 15);
+  model.forward_backward(input, 0, grads, {});
+  model.mask_gradients(grads);
+  EXPECT_DOUBLE_EQ(grads[0](0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grads[1](5, 7), 0.0);
+}
+
+TEST(Model, ConfigValidation) {
+  Rng rng(12);
+  DonnConfig cfg = tiny_config();
+  cfg.num_layers = 0;
+  EXPECT_THROW(DonnModel(cfg, rng), Error);
+  EXPECT_THROW(DonnConfig::scaled(8), Error);
+}
+
+TEST(Model, ScaledConfigKeepsMixingRatio) {
+  for (std::size_t n : {32u, 64u, 128u}) {
+    const DonnConfig cfg = DonnConfig::scaled(n);
+    const double mixing = cfg.wavelength * cfg.distance /
+                          (static_cast<double>(n) * cfg.grid.pitch *
+                           cfg.grid.pitch);
+    EXPECT_NEAR(mixing, 0.5735, 1e-6) << "n=" << n;
+  }
+}
+
+TEST(Crosstalk, SmoothMaskNearlyUnchanged) {
+  MatrixD smooth(16, 16, 3.0);
+  const MatrixD deployed = apply_crosstalk(smooth);
+  // Interior is constant => zero roughness => no change there.
+  EXPECT_NEAR(deployed(8, 8), 3.0, 1e-9);
+}
+
+TEST(Crosstalk, RoughMaskDistortedMoreThanSmoothMask) {
+  Rng rng(13);
+  MatrixD rough(16, 16);
+  for (auto& v : rough) v = rng.uniform(0.0, 2.0 * M_PI);
+  MatrixD smooth(16, 16);
+  for (std::size_t r = 0; r < 16; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      smooth(r, c) = 0.1 * static_cast<double>(r + c);  // gentle ramp
+    }
+  }
+  // Compare mean interior distortion (the boundary's zero padding makes
+  // even the smooth ramp "rough" at the rim, by design).
+  const auto interior_mean_change = [](const MatrixD& a, const MatrixD& b) {
+    double acc = 0.0;
+    std::size_t count = 0;
+    for (std::size_t r = 2; r < a.rows() - 2; ++r) {
+      for (std::size_t c = 2; c < a.cols() - 2; ++c) {
+        acc += std::abs(a(r, c) - b(r, c));
+        ++count;
+      }
+    }
+    return acc / static_cast<double>(count);
+  };
+  const double rough_change =
+      interior_mean_change(apply_crosstalk(rough), rough);
+  const double smooth_change =
+      interior_mean_change(apply_crosstalk(smooth), smooth);
+  EXPECT_GT(rough_change, 4.0 * smooth_change);
+}
+
+TEST(Crosstalk, StrengthZeroIsIdentity) {
+  Rng rng(14);
+  MatrixD phi(8, 8);
+  for (auto& v : phi) v = rng.uniform(0.0, 6.0);
+  CrosstalkOptions opt;
+  opt.strength = 0.0;
+  EXPECT_LT(max_abs_diff(apply_crosstalk(phi, opt), phi), 1e-12);
+}
+
+TEST(Crosstalk, OptionValidation) {
+  MatrixD phi(4, 4, 1.0);
+  CrosstalkOptions bad;
+  bad.strength = 1.5;
+  EXPECT_THROW(apply_crosstalk(phi, bad), Error);
+  bad.strength = 0.5;
+  bad.half_response = 0.0;
+  EXPECT_THROW(apply_crosstalk(phi, bad), Error);
+}
+
+}  // namespace
+}  // namespace odonn::donn

@@ -1,0 +1,484 @@
+// Tests for the extension modules: discrete phase levels (donn/discrete),
+// the fabrication/thickness domain (optics/fabrication), Gaussian-beam
+// analytics as a physics reference (optics/beams), model serialization
+// (donn/serialize), simulated annealing 2*pi (smooth2pi/anneal), and data
+// augmentation (data/augment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/augment.hpp"
+#include "data/synthetic.hpp"
+#include "donn/discrete.hpp"
+#include "donn/reflection.hpp"
+#include "donn/serialize.hpp"
+#include "optics/beams.hpp"
+#include "optics/fabrication.hpp"
+#include "optics/propagate.hpp"
+#include "smooth2pi/anneal.hpp"
+#include "sparsify/block_sparsify.hpp"
+#include "train/trainer.hpp"
+
+namespace odonn {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// ---------------------------------------------------------------- discrete
+
+TEST(Discrete, QuantizeSnapsToNearestLevel) {
+  MatrixD phase = {{0.1, 1.5}, {3.2, 6.2}};
+  donn::QuantizeOptions opt;
+  opt.levels = 4;  // levels at 0, pi/2, pi, 3pi/2
+  const MatrixD q = donn::quantize_phase(phase, opt);
+  EXPECT_NEAR(q(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(q(0, 1), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(q(1, 0), M_PI, 1e-12);
+  EXPECT_NEAR(q(1, 1), 0.0, 1e-12);  // 6.2 is nearest to 2*pi == level 0
+}
+
+TEST(Discrete, QuantizeWrapsOutOfRangeValues) {
+  MatrixD phase = {{-0.2, 7.0}};
+  const MatrixD q = donn::quantize_phase(phase, {16, true});
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_GE(q[i], 0.0);
+    EXPECT_LT(q[i], kTwoPi);
+  }
+}
+
+TEST(Discrete, ErrorDecreasesWithMoreLevels) {
+  Rng rng(1);
+  MatrixD phase(16, 16);
+  for (auto& v : phase) v = rng.uniform(0.0, kTwoPi);
+  double prev = 1e300;
+  for (std::size_t levels : {2u, 4u, 8u, 16u, 64u}) {
+    const double err = donn::quantization_error(phase, {levels, true});
+    EXPECT_LT(err, prev);
+    // Mean |error| of uniform phases vs k levels ~ step/4.
+    EXPECT_NEAR(err, kTwoPi / static_cast<double>(levels) / 4.0,
+                kTwoPi / static_cast<double>(levels) / 8.0);
+    prev = err;
+  }
+}
+
+TEST(Discrete, IndicesMatchQuantizedValues) {
+  Rng rng(2);
+  MatrixD phase(8, 8);
+  for (auto& v : phase) v = rng.uniform(0.0, kTwoPi);
+  donn::QuantizeOptions opt;
+  opt.levels = 8;
+  const auto idx = donn::quantize_indices(phase, opt);
+  const auto q = donn::quantize_phase(phase, opt);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LT(idx[i], 8u);
+    EXPECT_NEAR(q[i], static_cast<double>(idx[i]) * kTwoPi / 8.0, 1e-12);
+  }
+}
+
+TEST(Discrete, SteQuantizerForwardsQuantizedPhases) {
+  Rng rng(3);
+  std::vector<MatrixD> latent{MatrixD(4, 4), MatrixD(4, 4)};
+  for (auto& layer : latent) {
+    for (auto& v : layer) v = rng.uniform(0.0, kTwoPi);
+  }
+  donn::StePhaseQuantizer ste({8, true});
+  const auto q = ste.forward(latent);
+  ASSERT_EQ(q.size(), 2u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_LT(max_abs_diff(q[l], donn::quantize_phase(latent[l], {8, true})),
+              1e-15);
+  }
+  // STE backward is the identity.
+  const auto& grads = ste.backward(latent);
+  EXPECT_EQ(&grads, &latent);
+}
+
+TEST(Discrete, GumbelLevelSampleIsDistribution) {
+  Rng rng(4);
+  std::vector<MatrixD> logits(4, MatrixD(3, 3, 0.0));
+  logits[2].fill(3.0);  // strongly prefer level 2
+  const auto sample = donn::gumbel_level_sample(logits, 0.5, rng, false);
+  for (std::size_t i = 0; i < 9; ++i) {
+    double total = 0.0;
+    for (const auto& p : sample.probs) total += p[i];
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(sample.probs[2][i], 0.95);
+    // Soft phase close to level 2's phase (2 * 2pi/4 = pi).
+    EXPECT_NEAR(sample.soft_phase[i], M_PI, 0.3);
+  }
+}
+
+TEST(Discrete, GumbelLevelSampleLowTauApproachesArgmax) {
+  Rng rng(5);
+  std::vector<MatrixD> logits(3, MatrixD(2, 2, 0.0));
+  logits[1].fill(1.0);
+  const auto hot = donn::gumbel_level_sample(logits, 5.0, rng, false);
+  const auto cold = donn::gumbel_level_sample(logits, 0.05, rng, false);
+  EXPECT_GT(cold.probs[1](0, 0), hot.probs[1](0, 0));
+  EXPECT_GT(cold.probs[1](0, 0), 0.999);
+}
+
+TEST(Discrete, Validation) {
+  MatrixD phase(2, 2, 0.0);
+  EXPECT_THROW(donn::quantize_phase(phase, {1, true}), Error);
+  Rng rng(6);
+  std::vector<MatrixD> one(1, MatrixD(2, 2, 0.0));
+  EXPECT_THROW(donn::gumbel_level_sample(one, 1.0, rng), Error);
+}
+
+// ------------------------------------------------------------- fabrication
+
+TEST(Fabrication, ZoneHeightMatchesFormula) {
+  optics::MaterialSpec mat;
+  mat.refractive_index = 1.5;
+  mat.wavelength = 600e-9;
+  EXPECT_NEAR(mat.zone_height(), 1.2e-6, 1e-12);
+}
+
+TEST(Fabrication, PhaseThicknessRoundTrip) {
+  Rng rng(7);
+  MatrixD phase(8, 8);
+  for (auto& v : phase) v = rng.uniform(0.0, 3.0 * kTwoPi);  // multi-zone
+  optics::MaterialSpec mat;
+  const MatrixD t = optics::phase_to_thickness(phase, mat, /*wrap=*/false);
+  const MatrixD back = optics::thickness_to_phase(t, mat);
+  EXPECT_LT(max_abs_diff(back, phase), 1e-9);
+}
+
+TEST(Fabrication, WrappedReliefStaysWithinOneZone) {
+  MatrixD phase = {{0.0, kTwoPi + 1.0}, {3.0 * kTwoPi - 0.1, 2.0}};
+  optics::MaterialSpec mat;
+  const MatrixD t = optics::phase_to_thickness(phase, mat, /*wrap=*/true);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], 0.0);
+    EXPECT_LT(t[i], mat.zone_height() + 1e-15);
+  }
+}
+
+TEST(Fabrication, ThicknessReportTracksRoughness) {
+  Rng rng(8);
+  MatrixD rough(12, 12);
+  for (auto& v : rough) v = rng.uniform(0.0, kTwoPi);
+  MatrixD smooth(12, 12, 3.0);
+  optics::MaterialSpec mat;
+  const auto rough_report = optics::thickness_report(rough, mat);
+  const auto smooth_report = optics::thickness_report(smooth, mat);
+  EXPECT_GT(rough_report.roughness_um, smooth_report.roughness_um);
+  EXPECT_GT(rough_report.max_height_um, 0.0);
+  EXPECT_GT(rough_report.mean_height_um, 0.0);
+}
+
+TEST(Fabrication, TwoPiLiftAddsExactlyOneZone) {
+  // The 2*pi optimizer's physical meaning: +2*pi == one extra zone height.
+  MatrixD phase = {{1.0}};
+  MatrixD lifted = {{1.0 + kTwoPi}};
+  optics::MaterialSpec mat;
+  const double t0 = optics::phase_to_thickness(phase, mat, false)(0, 0);
+  const double t1 = optics::phase_to_thickness(lifted, mat, false)(0, 0);
+  EXPECT_NEAR(t1 - t0, mat.zone_height(), 1e-12);
+}
+
+TEST(Fabrication, Validation) {
+  MatrixD phase(2, 2, 1.0);
+  optics::MaterialSpec bad;
+  bad.refractive_index = 1.0;
+  EXPECT_THROW(optics::phase_to_thickness(phase, bad), Error);
+}
+
+// ------------------------------------------------------------------- beams
+
+TEST(Beams, RayleighRangeAndRadius) {
+  optics::GaussianBeam beam;
+  beam.wavelength = 532e-9;
+  beam.waist = 100e-6;
+  const double zr = beam.rayleigh_range();
+  EXPECT_NEAR(zr, M_PI * 1e-8 / 532e-9, 1e-6);
+  EXPECT_DOUBLE_EQ(beam.radius_at(0.0), beam.waist);
+  EXPECT_NEAR(beam.radius_at(zr), beam.waist * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Beams, MeasuredRadiusMatchesAnalyticAtWaist) {
+  optics::GaussianBeam beam;
+  beam.waist = 80e-6;
+  const optics::GridSpec grid{64, 8e-6};  // 512 um window
+  const auto field = beam.sample_waist(grid);
+  EXPECT_NEAR(optics::measured_beam_radius(field), beam.waist,
+              0.03 * beam.waist);
+}
+
+TEST(Beams, NumericalPropagationMatchesAnalyticWaistGrowth) {
+  // The physics acid test: propagate the sampled waist with the angular
+  // spectrum method and compare the measured radius against w(z).
+  optics::GaussianBeam beam;
+  beam.waist = 60e-6;
+  const optics::GridSpec grid{96, 8e-6};  // 768 um window
+  const double z = 2.0 * beam.rayleigh_range();
+
+  optics::Field field = beam.sample_waist(grid);
+  optics::Propagator prop(grid, {{optics::KernelType::AngularSpectrum,
+                                  beam.wavelength, z}, true});
+  field = prop.forward(field);
+  const double expected = beam.radius_at(z);
+  EXPECT_NEAR(optics::measured_beam_radius(field), expected, 0.05 * expected);
+}
+
+// --------------------------------------------------------------- serialize
+
+TEST(Serialize, RoundTripPreservesModel) {
+  Rng rng(9);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  cfg.num_layers = 2;
+  donn::DonnModel model(cfg, rng);
+  std::vector<sparsify::SparsityMask> masks;
+  for (std::size_t l = 0; l < 2; ++l) {
+    masks.push_back(sparsify::block_sparsify(model.phases()[l], {4, 0.25}));
+  }
+  model.set_masks(masks);
+
+  const std::string path = ::testing::TempDir() + "/model.odnn";
+  donn::save_model(model, path);
+  const donn::DonnModel loaded = donn::load_model(path);
+
+  EXPECT_EQ(loaded.config().grid.n, cfg.grid.n);
+  EXPECT_DOUBLE_EQ(loaded.config().grid.pitch, cfg.grid.pitch);
+  EXPECT_EQ(loaded.num_layers(), 2u);
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_LT(max_abs_diff(loaded.phases()[l], model.phases()[l]), 1e-15);
+    EXPECT_EQ(loaded.masks()[l], model.masks()[l]);
+  }
+
+  // Loaded model computes identical outputs.
+  MatrixD image(16, 16, 0.0);
+  image(8, 8) = 1.0;
+  const auto input = optics::encode_image(image, cfg.grid);
+  const auto a = model.detector_sums(input);
+  const auto b = loaded.detector_sums(input);
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_DOUBLE_EQ(a[c], b[c]);
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  const std::string path = ::testing::TempDir() + "/bogus.odnn";
+  std::ofstream out(path, std::ios::binary);
+  out << "NOPE and then some bytes";
+  out.close();
+  EXPECT_THROW(donn::load_model(path), IoError);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  Rng rng(10);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  donn::DonnModel model(cfg, rng);
+  const std::string path = ::testing::TempDir() + "/trunc.odnn";
+  donn::save_model(model, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size() / 3));
+  out.close();
+  EXPECT_THROW(donn::load_model(path), IoError);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(donn::load_model("/nonexistent/m.odnn"), IoError);
+}
+
+// ------------------------------------------------------------------ anneal
+
+TEST(Anneal, NeverWorseThanIdentity) {
+  Rng rng(11);
+  MatrixD phi(10, 10);
+  for (auto& v : phi) v = rng.uniform(0.0, kTwoPi);
+  const auto result = smooth2pi::anneal_2pi(phi, {});
+  EXPECT_LE(result.roughness_after, result.roughness_before + 1e-9);
+}
+
+TEST(Anneal, FindsSingleFlipImprovements) {
+  // One pixel at 0 surrounded by values near 2*pi: lifting it is a pure
+  // single-flip gain that annealing must find.
+  MatrixD phi(8, 8, 6.0);
+  phi(4, 4) = 0.0;
+  smooth2pi::AnnealOptions opt;
+  opt.iterations = 5000;
+  const auto result = smooth2pi::anneal_2pi(phi, opt);
+  EXPECT_EQ(result.selection(4, 4), 1);
+  EXPECT_LT(result.roughness_after, result.roughness_before);
+}
+
+TEST(Anneal, SelectionConsistentWithOptimizedMask) {
+  Rng rng(12);
+  MatrixD phi(8, 8);
+  for (auto& v : phi) v = rng.uniform(0.0, kTwoPi);
+  smooth2pi::AnnealOptions opt;
+  opt.iterations = 3000;
+  const auto result = smooth2pi::anneal_2pi(phi, opt);
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    const double expected =
+        phi[i] + (result.selection[i] != 0 ? kTwoPi : 0.0);
+    EXPECT_DOUBLE_EQ(result.optimized[i], expected);
+  }
+}
+
+TEST(Anneal, MatchesExactDpOnSmallChains) {
+  Rng rng(13);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 5 + rng.uniform_index(4);
+    MatrixD row(1, n);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = rng.bernoulli(0.4) ? 0.0 : rng.uniform(0.0, kTwoPi);
+      row(0, i) = values[i];
+    }
+    roughness::RoughnessOptions ropt;
+    smooth2pi::AnnealOptions opt;
+    opt.iterations = 20000;
+    opt.seed = 100 + static_cast<std::uint64_t>(trial);
+    const auto annealed = smooth2pi::anneal_2pi(row, opt);
+    const auto dp = smooth2pi::exact_1d_selection(values, ropt);
+    MatrixD dp_mask(1, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dp_mask(0, i) = values[i] + (dp[i] != 0 ? kTwoPi : 0.0);
+    }
+    const double dp_score = roughness::mask_roughness(dp_mask, ropt);
+    EXPECT_LE(annealed.roughness_after, dp_score * 1.05 + 1e-9);
+  }
+}
+
+TEST(Anneal, Validation) {
+  MatrixD phi(4, 4, 1.0);
+  smooth2pi::AnnealOptions opt;
+  opt.t_end = 2.0;  // above t_start
+  EXPECT_THROW(smooth2pi::anneal_2pi(phi, opt), Error);
+}
+
+// ----------------------------------------------------------------- augment
+
+TEST(Augment, ProducesDifferentViews) {
+  const auto ds = data::make_synthetic(data::SyntheticFamily::Digits, 4, 14);
+  Rng rng(15);
+  const MatrixD a = data::augment_image(ds.image(0), rng);
+  const MatrixD b = data::augment_image(ds.image(0), rng);
+  EXPECT_GT(max_abs_diff(a, b), 0.01);
+  EXPECT_EQ(a.rows(), ds.image(0).rows());
+}
+
+TEST(Augment, PreservesLabelsAndShape) {
+  const auto ds = data::make_synthetic(data::SyntheticFamily::Letters, 12, 16);
+  Rng rng(17);
+  const auto aug = data::augment_dataset(ds, rng);
+  ASSERT_EQ(aug.size(), ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(aug.label(i), ds.label(i));
+  }
+}
+
+TEST(Augment, ZeroOptionsIsNearIdentity) {
+  const auto ds = data::make_synthetic(data::SyntheticFamily::Digits, 2, 18);
+  Rng rng(19);
+  data::AugmentOptions opt;
+  opt.max_rotate = 0.0;
+  opt.scale_jitter = 0.0;
+  opt.max_shift = 0.0;
+  opt.noise_sigma = 0.0;
+  const MatrixD same = data::augment_image(ds.image(0), rng, opt);
+  EXPECT_LT(max_abs_diff(same, ds.image(0)), 1e-12);
+}
+
+// ---------------------------------------------------------------- reflection
+
+TEST(Reflection, ZeroAmplitudeMatchesIdealForward) {
+  Rng rng(23);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  cfg.num_layers = 2;
+  donn::DonnModel model(cfg, rng);
+  MatrixD image(16, 16);
+  for (auto& v : image) v = rng.uniform();
+  const auto input = optics::encode_image(image, cfg.grid);
+
+  const auto ideal = model.propagate_through(input);
+  const auto reflective =
+      donn::reflective_propagate_through(model, input, {0.0});
+  EXPECT_LT(max_abs_diff(ideal.values(), reflective.values()), 1e-12);
+}
+
+TEST(Reflection, TransmissionLossReducesPower) {
+  Rng rng(24);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  donn::DonnModel model(cfg, rng);
+  MatrixD image(16, 16);
+  for (auto& v : image) v = rng.uniform();
+  const auto input = optics::encode_image(image, cfg.grid);
+
+  const double ideal_power = model.propagate_through(input).power();
+  // First-order perturbation: each mask transmits (1 - r^2) of the power
+  // and re-injects an O(r^2) bounce whose interference with the direct
+  // field is not sign-definite — so assert boundedness, not monotonicity.
+  donn::ReflectionOptions opt;
+  opt.amplitude = 0.15;
+  const double r2 = opt.amplitude * opt.amplitude;
+  const double reflective_power =
+      donn::reflective_propagate_through(model, input, opt).power();
+  const double layers = static_cast<double>(model.num_layers());
+  EXPECT_LT(reflective_power, ideal_power * (1.0 + 3.0 * layers * r2));
+  EXPECT_GT(reflective_power, ideal_power * (1.0 - 3.0 * layers * r2));
+}
+
+TEST(Reflection, PerturbationGrowsWithAmplitude) {
+  Rng rng(25);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  donn::DonnModel model(cfg, rng);
+  MatrixD image(16, 16);
+  for (auto& v : image) v = rng.uniform();
+  const auto input = optics::encode_image(image, cfg.grid);
+  const auto ideal = model.propagate_through(input);
+
+  double prev = 0.0;
+  for (double r : {0.05, 0.15, 0.3}) {
+    const auto field =
+        donn::reflective_propagate_through(model, input, {r});
+    const double diff = max_abs_diff(ideal.values(), field.values());
+    EXPECT_GT(diff, prev);
+    prev = diff;
+  }
+}
+
+TEST(Reflection, PredictUsesDetectorLayout) {
+  Rng rng(26);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  donn::DonnModel model(cfg, rng);
+  MatrixD image(16, 16);
+  for (auto& v : image) v = rng.uniform();
+  const auto input = optics::encode_image(image, cfg.grid);
+  const std::size_t cls = donn::reflective_predict(model, input, {0.1});
+  EXPECT_LT(cls, cfg.num_classes);
+}
+
+TEST(Reflection, Validation) {
+  Rng rng(27);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  donn::DonnModel model(cfg, rng);
+  const auto input = optics::encode_image(MatrixD(16, 16, 0.5), cfg.grid);
+  EXPECT_THROW(donn::reflective_propagate_through(model, input, {1.0}), Error);
+  EXPECT_THROW(donn::reflective_propagate_through(model, input, {-0.1}), Error);
+}
+
+// --------------------------------------------------- init-scheme behavior
+
+TEST(PhaseInit, FlatInitIsMuchSmootherThanUniform) {
+  Rng r1(20), r2(20);
+  donn::DonnConfig flat_cfg = donn::DonnConfig::scaled(32);
+  donn::DonnConfig uni_cfg = flat_cfg;
+  uni_cfg.init = donn::PhaseInit::Uniform;
+  donn::DonnModel flat(flat_cfg, r1);
+  donn::DonnModel uniform(uni_cfg, r2);
+  const double flat_r = roughness::mask_roughness(flat.phases()[0]);
+  const double uni_r = roughness::mask_roughness(uniform.phases()[0]);
+  EXPECT_LT(flat_r, uni_r / 5.0);
+}
+
+}  // namespace
+}  // namespace odonn

@@ -1,0 +1,148 @@
+// Tests for src/io: PGM round trip, PPM output, CSV writer, colormaps,
+// mask rendering.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/colormap.hpp"
+#include "io/csv.hpp"
+#include "io/mask_render.hpp"
+#include "io/pgm.hpp"
+
+namespace odonn::io {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Pgm, RoundTripWithinQuantization) {
+  Rng rng(1);
+  MatrixD img(9, 13);
+  for (auto& v : img) v = rng.uniform();
+  const auto path = temp_path("round.pgm");
+  write_pgm(path, img);
+  const MatrixD back = read_pgm(path);
+  ASSERT_EQ(back.rows(), 9u);
+  ASSERT_EQ(back.cols(), 13u);
+  EXPECT_LT(max_abs_diff(back, img), 1.0 / 255.0 + 1e-9);
+}
+
+TEST(Pgm, CustomRangeMapsLinearly) {
+  MatrixD img(1, 3);
+  img[0] = -1.0;
+  img[1] = 0.0;
+  img[2] = 1.0;
+  const auto path = temp_path("range.pgm");
+  write_pgm(path, img, -1.0, 1.0);
+  const MatrixD back = read_pgm(path);
+  EXPECT_NEAR(back[0], 0.0, 1e-9);
+  EXPECT_NEAR(back[1], 0.5, 3e-3);
+  EXPECT_NEAR(back[2], 1.0, 1e-9);
+}
+
+TEST(Pgm, ReadRejectsMalformedFiles) {
+  const auto path = temp_path("bad.pgm");
+  std::ofstream out(path);
+  out << "P2\n2 2\n255\n0 0 0 0\n";  // ASCII PGM, not P5
+  out.close();
+  EXPECT_THROW(read_pgm(path), IoError);
+  EXPECT_THROW(read_pgm(temp_path("missing.pgm")), IoError);
+}
+
+TEST(Pgm, WriteValidation) {
+  EXPECT_THROW(write_pgm(temp_path("x.pgm"), MatrixD()), Error);
+  MatrixD img(2, 2, 0.5);
+  EXPECT_THROW(write_pgm(temp_path("x.pgm"), img, 1.0, 0.0), Error);
+}
+
+TEST(Ppm, WritesExpectedHeaderAndSize) {
+  std::vector<Rgb> pixels(6, Rgb{10, 20, 30});
+  const auto path = temp_path("img.ppm");
+  write_ppm(path, pixels, 2, 3);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3u);
+  EXPECT_EQ(h, 2u);
+  in.get();
+  std::string rest((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(rest.size(), 18u);  // 6 pixels x 3 bytes
+}
+
+TEST(Ppm, PixelCountMismatchThrows) {
+  std::vector<Rgb> pixels(5);
+  EXPECT_THROW(write_ppm(temp_path("bad.ppm"), pixels, 2, 3), ShapeError);
+}
+
+TEST(Colormap, ViridisEndpointsAndMonotoneLuma) {
+  const Rgb low = viridis(0.0);
+  const Rgb high = viridis(1.0);
+  // Dark purple -> bright yellow.
+  EXPECT_LT(low[1], 40);
+  EXPECT_GT(high[0], 200);
+  EXPECT_GT(high[1], 200);
+  double prev_luma = -1.0;
+  for (int i = 0; i <= 16; ++i) {
+    const Rgb c = viridis(i / 16.0);
+    const double luma = 0.299 * c[0] + 0.587 * c[1] + 0.114 * c[2];
+    EXPECT_GT(luma, prev_luma);  // perceptually ordered ramp
+    prev_luma = luma;
+  }
+}
+
+TEST(Colormap, PhaseWheelIsCyclic) {
+  const Rgb a = phase_wheel(0.0);
+  const Rgb b = phase_wheel(1.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const auto path = temp_path("data.csv");
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.row(std::vector<double>{1.0, 2.5});
+    csv.row(std::vector<std::string>{"a", "b"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+}
+
+TEST(Csv, CellCountMismatchThrows) {
+  CsvWriter csv(temp_path("bad.csv"), {"a", "b", "c"});
+  EXPECT_THROW(csv.row(std::vector<double>{1.0}), ShapeError);
+}
+
+TEST(MaskRender, WritesUpscaledPpm) {
+  Rng rng(2);
+  MatrixD phase(8, 8);
+  for (auto& v : phase) v = rng.uniform(0.0, 6.28);
+  phase(0, 0) = 0.0;  // sparsified pixel
+  const auto path = temp_path("mask.ppm");
+  MaskRenderOptions opt;
+  opt.upscale = 3;
+  render_phase_mask(path, phase, opt);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 24u);
+  EXPECT_EQ(h, 24u);
+}
+
+}  // namespace
+}  // namespace odonn::io

@@ -1,0 +1,257 @@
+// Tests for src/optics: propagation physics (energy conservation, adjoint
+// identity, semigroup property, agreement with the direct Rayleigh-
+// Sommerfeld reference), kernels and encoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "optics/encode.hpp"
+#include "optics/field.hpp"
+#include "optics/grid.hpp"
+#include "optics/kernels.hpp"
+#include "optics/propagate.hpp"
+#include "optics/rs_direct.hpp"
+
+namespace odonn::optics {
+namespace {
+
+constexpr double kLambda = 532e-9;
+
+GridSpec test_grid(std::size_t n = 32) {
+  // Pitch chosen so the pixel pitch exceeds lambda/2: every spatial
+  // frequency on the grid is propagating (no evanescent loss), which makes
+  // the ASM operator exactly unitary.
+  return {n, 2e-6};
+}
+
+Field random_field(const GridSpec& grid, std::uint64_t seed) {
+  Rng rng(seed);
+  MatrixC amp(grid.n, grid.n);
+  for (auto& v : amp) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return Field(grid, std::move(amp));
+}
+
+Field gaussian_beam(const GridSpec& grid, double waist_fraction = 0.15) {
+  const auto coords = spatial_coords(grid);
+  const double waist = grid.extent() * waist_fraction;
+  MatrixC amp(grid.n, grid.n);
+  for (std::size_t r = 0; r < grid.n; ++r) {
+    for (std::size_t c = 0; c < grid.n; ++c) {
+      const double rr = coords[r] * coords[r] + coords[c] * coords[c];
+      amp(r, c) = {std::exp(-rr / (waist * waist)), 0.0};
+    }
+  }
+  Field f(grid, std::move(amp));
+  f.normalize_power();
+  return f;
+}
+
+std::complex<double> inner(const Field& a, const Field& b) {
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = 0; i < a.values().size(); ++i) {
+    acc += std::conj(a.values()[i]) * b.values()[i];
+  }
+  return acc;
+}
+
+TEST(Grid, ValidateRejectsBadSpecs) {
+  EXPECT_THROW(validate({1, 1e-6}), ConfigError);
+  EXPECT_THROW(validate({16, 0.0}), ConfigError);
+  EXPECT_NO_THROW(validate({16, 1e-6}));
+}
+
+TEST(Grid, SpatialCoordsAreCenteredAndSpaced) {
+  const GridSpec grid{8, 2.0};
+  const auto x = spatial_coords(grid);
+  EXPECT_DOUBLE_EQ(x[4], 0.0);  // center sample at n/2
+  EXPECT_DOUBLE_EQ(x[5] - x[4], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], -8.0);
+}
+
+TEST(Field, PowerAndNormalization) {
+  Field f = random_field(test_grid(16), 1);
+  f.normalize_power(2.5);
+  EXPECT_NEAR(f.power(), 2.5, 1e-12);
+  const MatrixD intensity = f.intensity();
+  EXPECT_NEAR(intensity.sum(), 2.5, 1e-12);
+}
+
+TEST(Field, ZeroFieldNormalizeIsNoop) {
+  Field f(test_grid(8));
+  f.normalize_power();
+  EXPECT_DOUBLE_EQ(f.power(), 0.0);
+}
+
+TEST(Kernels, ParseNames) {
+  EXPECT_EQ(parse_kernel("asm"), KernelType::AngularSpectrum);
+  EXPECT_EQ(parse_kernel("BLASM"), KernelType::BandLimitedASM);
+  EXPECT_EQ(parse_kernel("fresnel"), KernelType::FresnelTF);
+  EXPECT_THROW(parse_kernel("warp"), ConfigError);
+}
+
+TEST(Kernels, ZeroDistanceIsIdentityKernel) {
+  const auto h = transfer_function(test_grid(16), {KernelType::AngularSpectrum,
+                                                   kLambda, 0.0});
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_LT(std::abs(h[i] - std::complex<double>(1.0, 0.0)), 1e-12);
+  }
+}
+
+TEST(Kernels, PropagatingBandHasUnitMagnitude) {
+  const auto grid = test_grid(32);
+  const auto h = transfer_function(grid, {KernelType::AngularSpectrum,
+                                          kLambda, 0.01});
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(std::abs(h[i]), 1.0, 1e-12);  // all-propagating grid
+  }
+}
+
+TEST(Kernels, EvanescentComponentsDecay) {
+  // Sub-wavelength pitch puts high frequencies beyond 1/lambda.
+  const GridSpec grid{32, 0.2e-6};
+  const auto h = transfer_function(grid, {KernelType::AngularSpectrum,
+                                          kLambda, 5e-6});
+  // The highest frequency bin should be strongly attenuated.
+  const std::size_t mid = 16;
+  EXPECT_LT(std::abs(h(mid, mid)), 0.1);
+  EXPECT_NEAR(std::abs(h(0, 0)), 1.0, 1e-12);
+}
+
+TEST(Kernels, BandLimitedZeroesAliasedFrequencies) {
+  const auto grid = test_grid(32);
+  // Large z so the band limit bites.
+  const auto h = transfer_function(grid, {KernelType::BandLimitedASM,
+                                          kLambda, 0.5});
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (std::abs(h[i]) == 0.0) ++zeros;
+  }
+  EXPECT_GT(zeros, h.size() / 4);
+  EXPECT_NEAR(std::abs(h(0, 0)), 1.0, 1e-12);  // DC survives
+}
+
+TEST(Propagate, EnergyConservedOnPropagatingGrid) {
+  const auto grid = test_grid(32);
+  const Field in = random_field(grid, 2);
+  Propagator prop(grid, {{KernelType::AngularSpectrum, kLambda, 0.02}, false});
+  const Field out = prop.forward(in);
+  EXPECT_NEAR(out.power(), in.power(), 1e-9 * in.power());
+}
+
+TEST(Propagate, ZeroDistanceIsIdentity) {
+  const auto grid = test_grid(16);
+  const Field in = random_field(grid, 3);
+  Propagator prop(grid, {{KernelType::AngularSpectrum, kLambda, 0.0}, false});
+  const Field out = prop.forward(in);
+  EXPECT_LT(max_abs_diff(out.values(), in.values()), 1e-11);
+}
+
+TEST(Propagate, AdjointIdentityHolds) {
+  // <P x, y> == <x, P* y> for random fields.
+  const auto grid = test_grid(24);
+  const Field x = random_field(grid, 4);
+  const Field y = random_field(grid, 5);
+  for (bool pad : {false, true}) {
+    Propagator prop(grid, {{KernelType::AngularSpectrum, kLambda, 0.015}, pad});
+    const auto lhs = inner(prop.forward(x), y);
+    const auto rhs = inner(x, prop.adjoint(y));
+    EXPECT_LT(std::abs(lhs - rhs), 1e-10 * std::abs(lhs) + 1e-12);
+  }
+}
+
+TEST(Propagate, SemigroupComposition) {
+  // P(z1) P(z2) == P(z1 + z2) for the unpadded transfer-function method.
+  const auto grid = test_grid(32);
+  const Field in = gaussian_beam(grid);
+  const KernelSpec spec{KernelType::AngularSpectrum, kLambda, 0.02};
+  Propagator whole(grid, {spec, false});
+  const Field direct = whole.forward(in);
+  const Field stepped = propagate_in_steps(in, spec, 4, false);
+  EXPECT_LT(max_abs_diff(direct.values(), stepped.values()), 1e-9);
+}
+
+TEST(Propagate, ForwardThenBackwardDistanceRestoresField) {
+  // P(z) followed by the adjoint (= back-propagation for unitary H) is the
+  // identity on an all-propagating grid.
+  const auto grid = test_grid(32);
+  const Field in = random_field(grid, 6);
+  Propagator prop(grid, {{KernelType::AngularSpectrum, kLambda, 0.01}, false});
+  const Field back = prop.adjoint(prop.forward(in));
+  EXPECT_LT(max_abs_diff(back.values(), in.values()), 1e-10);
+}
+
+TEST(Propagate, MatchesDirectRayleighSommerfeld) {
+  // Spectral ASM and the O(n^4) direct RS convolution agree on a centered
+  // Gaussian beam — but only in a geometry where the directly sampled RS
+  // kernel is Nyquist-adequate: the kernel's local fringe frequency
+  // k*(x/r)*pitch must stay below pi, i.e. max offset / z <= lambda/(2*pitch).
+  // 32 x 16 um window, z = 60 mm satisfies that with margin while the beam
+  // (waist 0.12 * aperture) stays inside the window.
+  const GridSpec grid{32, 16e-6};
+  const double z = 0.06;
+  const Field in = gaussian_beam(grid, 0.12);
+  Propagator prop(grid, {{KernelType::AngularSpectrum, kLambda, z}, true});
+  const Field spectral = prop.forward(in);
+  const Field direct = rs_direct_propagate(in, kLambda, z);
+
+  const auto corr = inner(spectral, direct);
+  const double denom = std::sqrt(spectral.power() * direct.power());
+  EXPECT_GT(std::abs(corr) / denom, 0.95);
+}
+
+TEST(Propagate, FresnelAgreesWithAsmInParaxialRegime) {
+  const GridSpec grid{32, 10e-6};
+  const double z = 0.05;  // strongly paraxial at this aperture
+  const Field in = gaussian_beam(grid, 0.12);
+  Propagator asm_prop(grid, {{KernelType::AngularSpectrum, kLambda, z}, false});
+  Propagator fre_prop(grid, {{KernelType::FresnelTF, kLambda, z}, false});
+  const Field a = asm_prop.forward(in);
+  const Field f = fre_prop.forward(in);
+  const auto corr = inner(a, f);
+  EXPECT_GT(std::abs(corr) / std::sqrt(a.power() * f.power()), 0.999);
+}
+
+TEST(Encode, AmplitudeEncodingNormalizesPower) {
+  MatrixD image(16, 16, 0.0);
+  image(8, 8) = 1.0;
+  image(8, 9) = 0.5;
+  const GridSpec grid{16, 1e-6};
+  const Field f = encode_image(image, grid);
+  EXPECT_NEAR(f.power(), 1.0, 1e-12);
+  EXPECT_GT(std::abs(f(8, 8)), std::abs(f(8, 9)));
+}
+
+TEST(Encode, PhaseEncodingHasUniformMagnitude) {
+  Rng rng(8);
+  MatrixD image(8, 8);
+  for (auto& v : image) v = rng.uniform();
+  const GridSpec grid{8, 1e-6};
+  EncodeOptions opt;
+  opt.mode = Encoding::Phase;
+  opt.normalize_power = false;
+  const Field f = encode_image(image, grid, opt);
+  for (std::size_t i = 0; i < f.values().size(); ++i) {
+    EXPECT_NEAR(std::abs(f.values()[i]), 1.0, 1e-12);
+  }
+}
+
+TEST(Encode, ResizedEncodingMatchesManualResize) {
+  Rng rng(9);
+  MatrixD small(7, 7);
+  for (auto& v : small) v = rng.uniform();
+  const GridSpec grid{21, 1e-6};
+  const Field f = encode_resized(small, grid);
+  EXPECT_EQ(f.n(), 21u);
+  EXPECT_NEAR(f.power(), 1.0, 1e-12);
+}
+
+TEST(Encode, ShapeMismatchThrows) {
+  MatrixD image(8, 8, 0.1);
+  EXPECT_THROW(encode_image(image, {16, 1e-6}), ShapeError);
+}
+
+}  // namespace
+}  // namespace odonn::optics
