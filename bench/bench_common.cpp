@@ -92,6 +92,35 @@ PreparedData prepare_dataset(data::SyntheticFamily family,
   return {std::move(train), std::move(test)};
 }
 
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
 bool shape_check(bool pass, const std::string& description) {
   std::printf("[check] %s  %s\n", pass ? "PASS" : "FAIL", description.c_str());
   return pass;

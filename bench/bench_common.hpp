@@ -70,4 +70,10 @@ int run_table_bench(const char* title, data::SyntheticFamily family,
 /// Prints "[check] PASS/FAIL description"; returns pass.
 bool shape_check(bool pass, const std::string& description);
 
+/// Minimal JSON emit helpers for machine-readable bench output (the serving
+/// throughput bench writes a JSON document so later PRs can diff a perf
+/// trajectory). Locale-independent; non-finite numbers become null.
+std::string json_quote(const std::string& text);
+std::string json_number(double value);
+
 }  // namespace odonn::bench

@@ -1,0 +1,210 @@
+// Serving throughput bench: samples/sec and p50/p99 latency of the batched
+// inference path (direct BatchedForward calls and the full InferenceEngine
+// pipeline) versus the naive one-sample-at-a-time predict() loop, across
+// batch sizes, on the scaled(32) config by default.
+//
+// Emits a JSON document (stdout, after the human-readable table) so later
+// PRs can track the perf trajectory:
+//   { "bench": "serve_throughput", "grid": ..., "threads": ...,
+//     "naive": {...}, "rows": [ {"mode": ..., "batch": ..., ...}, ... ] }
+//
+//   ./serve_throughput [grid=32] [samples=512] [seed=7] [bench.scale=...]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "donn/model.hpp"
+#include "optics/encode.hpp"
+#include "serve/batched_forward.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+using namespace odonn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Nearest-rank percentile of per-sample latencies, in milliseconds.
+double percentile_ms(std::vector<double> latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies.size()) + 0.999999);
+  rank = std::max<std::size_t>(1, std::min(rank, latencies.size()));
+  return latencies[rank - 1] * 1e3;
+}
+
+struct Measurement {
+  std::string mode;
+  std::size_t batch = 0;
+  double samples_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+void print_row(const Measurement& m) {
+  std::printf("%-14s | %7zu | %12.1f | %8.3f | %8.3f\n", m.mode.c_str(),
+              m.batch, m.samples_per_sec, m.p50_ms, m.p99_ms);
+}
+
+std::string json_row(const Measurement& m) {
+  return "{\"mode\": " + bench::json_quote(m.mode) +
+         ", \"batch\": " + std::to_string(m.batch) +
+         ", \"samples_per_sec\": " + bench::json_number(m.samples_per_sec) +
+         ", \"p50_ms\": " + bench::json_number(m.p50_ms) +
+         ", \"p99_ms\": " + bench::json_number(m.p99_ms) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cli = Config::from_args(argc, argv);
+  const bench::BenchConfig bc = bench::make_bench_config(argc, argv);
+  // This bench defaults to the acceptance config — scaled(32) — rather than
+  // the table benches' scale-dependent grid; explicit grid=/samples= win.
+  const std::size_t grid = cli.has("grid") ? bc.grid : 32;
+  const std::size_t samples =
+      cli.has("samples") ? bc.samples : std::size_t{512};
+
+  donn::DonnConfig config = donn::DonnConfig::scaled(grid);
+  config.init = donn::PhaseInit::Uniform;
+  Rng rng(bc.seed);
+  donn::DonnModel trained(config, rng);
+
+  Rng data_rng(bc.seed + 1);
+  std::vector<optics::Field> inputs;
+  inputs.reserve(samples);
+  for (std::size_t k = 0; k < samples; ++k) {
+    MatrixD image(grid, grid);
+    for (auto& v : image) v = data_rng.uniform();
+    inputs.push_back(optics::encode_image(image, config.grid));
+  }
+
+  std::printf("=== serve_throughput ===\n");
+  std::printf("grid=%zu layers=%zu samples=%zu threads=%zu seed=%llu\n\n",
+              grid, trained.num_layers(), samples, thread_count(),
+              static_cast<unsigned long long>(bc.seed));
+  std::printf("%-14s | %7s | %12s | %8s | %8s\n", "mode", "batch",
+              "samples/sec", "p50 ms", "p99 ms");
+
+  // ---- naive one-sample loop (the pre-serving deployment story) ----------
+  for (const auto& input : inputs) trained.predict(input);  // warm-up
+  Measurement naive;
+  naive.mode = "naive_loop";
+  naive.batch = 1;
+  {
+    std::vector<double> latencies(samples);
+    const Clock::time_point start = Clock::now();
+    for (std::size_t k = 0; k < samples; ++k) {
+      const Clock::time_point t0 = Clock::now();
+      trained.predict(inputs[k]);
+      latencies[k] = seconds_since(t0);
+    }
+    const double elapsed = seconds_since(start);
+    naive.samples_per_sec = static_cast<double>(samples) / elapsed;
+    naive.p50_ms = percentile_ms(latencies, 0.50);
+    naive.p99_ms = percentile_ms(latencies, 0.99);
+  }
+  print_row(naive);
+
+  // ---- plan-reusing batched path, across batch sizes ---------------------
+  auto published = std::make_shared<const donn::DonnModel>(std::move(trained));
+  const serve::BatchedForward forward(published);
+  std::vector<Measurement> rows;
+  double best_batched = 0.0;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{32}, std::size_t{128}}) {
+    std::vector<optics::Field> chunk(
+        inputs.begin(),
+        inputs.begin() + static_cast<std::ptrdiff_t>(
+                             std::min(batch, inputs.size())));
+    forward.run(chunk);  // warm-up
+    Measurement m;
+    m.mode = "batched";
+    m.batch = batch;
+    std::vector<double> latencies;
+    const Clock::time_point start = Clock::now();
+    std::size_t done = 0;
+    while (done < samples) {
+      const std::size_t take = std::min(batch, samples - done);
+      std::vector<optics::Field> window(
+          inputs.begin() + static_cast<std::ptrdiff_t>(done),
+          inputs.begin() + static_cast<std::ptrdiff_t>(done + take));
+      const Clock::time_point t0 = Clock::now();
+      forward.run(window);
+      // Every sample in the window observes the whole batch's latency.
+      const double batch_latency = seconds_since(t0);
+      latencies.insert(latencies.end(), take, batch_latency);
+      done += take;
+    }
+    const double elapsed = seconds_since(start);
+    m.samples_per_sec = static_cast<double>(samples) / elapsed;
+    m.p50_ms = percentile_ms(latencies, 0.50);
+    m.p99_ms = percentile_ms(latencies, 0.99);
+    best_batched = std::max(best_batched, m.samples_per_sec);
+    print_row(m);
+    rows.push_back(std::move(m));
+  }
+
+  // ---- full engine pipeline (queue + batch window + futures) -------------
+  {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add("served", donn::DonnModel(*published));
+    serve::EngineOptions options;
+    options.max_batch = 64;
+    serve::InferenceEngine engine(registry, options);
+    for (std::size_t k = 0; k < std::min<std::size_t>(32, samples); ++k) {
+      engine.submit("served", inputs[k]).get();  // warm-up
+    }
+    engine.reset_stats();  // keep cold-start latencies out of the record
+    std::vector<std::future<serve::PredictResult>> futures;
+    futures.reserve(samples);
+    const Clock::time_point start = Clock::now();
+    for (std::size_t k = 0; k < samples; ++k) {
+      futures.push_back(engine.submit("served", inputs[k]));
+    }
+    for (auto& future : futures) future.get();
+    const double elapsed = seconds_since(start);
+    const auto snap = engine.stats();
+    Measurement m;
+    m.mode = "engine";
+    m.batch = options.max_batch;
+    m.samples_per_sec = static_cast<double>(samples) / elapsed;
+    m.p50_ms = snap.p50_ms;
+    m.p99_ms = snap.p99_ms;
+    print_row(m);
+    std::printf("engine: %llu batches, mean batch %.1f\n",
+                static_cast<unsigned long long>(snap.batches),
+                snap.mean_batch_size);
+    rows.push_back(std::move(m));
+  }
+
+  const double speedup =
+      naive.samples_per_sec > 0.0 ? best_batched / naive.samples_per_sec : 0.0;
+  std::printf("\nbatched/naive speedup: %.2fx\n", speedup);
+  int failures = 0;
+  failures += !bench::shape_check(speedup >= 2.0,
+                                  "batched throughput >= 2x naive loop");
+
+  std::printf("\n");
+  std::printf("{\"bench\": \"serve_throughput\", \"grid\": %zu, "
+              "\"layers\": %zu, \"samples\": %zu, \"threads\": %zu, "
+              "\"speedup\": %s,\n \"naive\": %s,\n \"rows\": [\n",
+              grid, published->num_layers(), samples, thread_count(),
+              bench::json_number(speedup).c_str(), json_row(naive).c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("  %s%s\n", json_row(rows[i]).c_str(),
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("]}\n");
+  return failures;
+}

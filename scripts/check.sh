@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, ctest — the single entry point CI and
+# humans run before merging. src/serve compiles with -Wall -Wextra -Werror
+# (set in CMakeLists.txt), so any warning in the serving subsystem fails
+# this script at the build step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
+cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)"

@@ -4,6 +4,27 @@
 // Parameters are the per-layer phase masks; optional sparsity masks freeze
 // pixels at zero (§III-C). Forward/backward are hand-derived (DESIGN.md §4)
 // and validated against finite differences in tests.
+//
+// Batched inference and thread safety
+// -----------------------------------
+// Beyond the one-sample path (predict / detector_sums / output_intensity),
+// the model exposes batched entry points — predict_batch,
+// detector_sums_batch, output_intensity_batch and the plan-reusing core
+// infer_batch — that evaluate K samples against the single cached
+// propagation kernel / FFT plan set, share precomputed per-layer modulation
+// tables exp(i*phi) across the whole batch (modulation_tables()), and
+// parallelize over samples via common/parallel with per-chunk scratch
+// buffers. The batched path performs bitwise-identical arithmetic to the
+// single-sample path, so predictions and detector sums match exactly
+// (tests/serve_test.cpp asserts this).
+//
+// Thread-safety contract: every const member function is safe to call
+// concurrently from any number of threads — inference reads the phase
+// masks, the shared Propagator and the detector layout but mutates no model
+// state. The non-const mutators (set_phases, set_masks, apply_masks,
+// phases()) must not race with in-flight inference; the serving layer
+// (src/serve) enforces this by only ever publishing models as
+// shared_ptr<const DonnModel>.
 #pragma once
 
 #include <cstddef>
@@ -91,6 +112,37 @@ class DonnModel {
 
   /// argmax class.
   std::size_t predict(const optics::Field& input) const;
+
+  /// Precomputed per-layer modulation tables w = exp(i*phi), shared across
+  /// a batch so the transcendental cost of the masks is paid once per batch
+  /// instead of once per sample. Recompute after set_phases/set_masks (the
+  /// serving layer caches them per published model snapshot).
+  std::vector<MatrixC> modulation_tables() const;
+
+  /// Plan-reusing batched inference core: evaluates inputs[k] for all k
+  /// through the mask stack using the cached propagator and the supplied
+  /// modulation tables, parallelized over samples via common/parallel.
+  /// Each non-null output vector is resized to inputs.size() and filled at
+  /// index k with that sample's result. Bitwise-identical arithmetic to the
+  /// single-sample path; results are deterministic and independent of the
+  /// thread count. Thread-safe (const; writes only to caller outputs).
+  void infer_batch(const std::vector<optics::Field>& inputs,
+                   const std::vector<MatrixC>& modulations,
+                   std::vector<std::size_t>* predictions,
+                   std::vector<std::vector<double>>* sums,
+                   std::vector<MatrixD>* intensities) const;
+
+  /// Batched argmax classes (exact parity with per-sample predict()).
+  std::vector<std::size_t> predict_batch(
+      const std::vector<optics::Field>& inputs) const;
+
+  /// Batched raw per-class intensity sums.
+  std::vector<std::vector<double>> detector_sums_batch(
+      const std::vector<optics::Field>& inputs) const;
+
+  /// Batched detector-plane intensities.
+  std::vector<MatrixD> output_intensity_batch(
+      const std::vector<optics::Field>& inputs) const;
 
   struct ForwardBackwardResult {
     double loss = 0.0;

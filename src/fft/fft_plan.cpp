@@ -18,7 +18,9 @@ std::vector<Cplx>& scratch(std::size_t n) {
   return buf;
 }
 
-std::vector<std::size_t> make_bit_reverse(std::size_t n) {
+}  // namespace
+
+std::vector<std::size_t> bit_reverse_permutation(std::size_t n) {
   std::vector<std::size_t> rev(n);
   std::size_t log2n = 0;
   while ((std::size_t{1} << log2n) < n) ++log2n;
@@ -32,7 +34,7 @@ std::vector<std::size_t> make_bit_reverse(std::size_t n) {
   return rev;
 }
 
-std::vector<Cplx> make_twiddles(std::size_t n) {
+std::vector<Cplx> radix2_twiddles(std::size_t n) {
   std::vector<Cplx> tw(n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double angle = -2.0 * M_PI * static_cast<double>(k) /
@@ -41,8 +43,6 @@ std::vector<Cplx> make_twiddles(std::size_t n) {
   }
   return tw;
 }
-
-}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   ODONN_CHECK(n >= 1, "next_pow2 requires n >= 1");
@@ -58,16 +58,16 @@ Plan::Plan(std::size_t n) : n_(n) {
   if (is_pow2(n)) {
     conv_n_ = n;
     if (n > 1) {
-      twiddles_ = make_twiddles(n);
-      bit_reverse_ = make_bit_reverse(n);
+      twiddles_ = radix2_twiddles(n);
+      bit_reverse_ = bit_reverse_permutation(n);
     }
     return;
   }
 
   // Bluestein setup: convolution length m >= 2n-1, power of two.
   conv_n_ = next_pow2(2 * n - 1);
-  twiddles_ = make_twiddles(conv_n_);
-  bit_reverse_ = make_bit_reverse(conv_n_);
+  twiddles_ = radix2_twiddles(conv_n_);
+  bit_reverse_ = bit_reverse_permutation(conv_n_);
 
   bluestein_a_.resize(n);
   std::vector<Cplx> b(conv_n_, Cplx(0.0, 0.0));
@@ -151,15 +151,40 @@ void Plan::execute(std::span<Cplx> data, Direction dir) const {
   execute(data.data(), dir);
 }
 
+namespace {
+
+struct PlanCache {
+  std::mutex mutex;
+  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const Plan> plan_for(std::size_t n) {
-  static std::mutex mutex;
-  static std::unordered_map<std::size_t, std::shared_ptr<const Plan>> cache;
-  std::lock_guard<std::mutex> lock(mutex);
-  auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
+  PlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  auto it = cache.plans.find(n);
+  if (it != cache.plans.end()) {
+    ++cache.hits;
+    return it->second;
+  }
+  ++cache.misses;
   auto plan = std::make_shared<const Plan>(n);
-  cache.emplace(n, plan);
+  cache.plans.emplace(n, plan);
   return plan;
+}
+
+PlanCacheStats plan_cache_stats() {
+  PlanCache& cache = plan_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  return {cache.plans.size(), cache.hits, cache.misses};
 }
 
 void transform(std::span<Cplx> data, Direction dir) {

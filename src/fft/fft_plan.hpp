@@ -15,6 +15,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -30,6 +31,13 @@ std::size_t next_pow2(std::size_t n);
 
 /// True if n is a power of two (n >= 1).
 bool is_pow2(std::size_t n);
+
+/// Radix-2 table builders, shared by Plan and the serving batch kernel so
+/// both paths multiply by bitwise-identical factors: twiddles are
+/// exp(-2*pi*i*k/n) for k < n/2; the permutation is the bit-reversal order
+/// of [0, n) for power-of-two n.
+std::vector<Cplx> radix2_twiddles(std::size_t n);
+std::vector<std::size_t> bit_reverse_permutation(std::size_t n);
 
 class Plan {
  public:
@@ -62,6 +70,16 @@ class Plan {
 /// Returns a cached shared plan for length n. Thread-safe; plans persist for
 /// the process so repeated propagations reuse twiddle tables.
 std::shared_ptr<const Plan> plan_for(std::size_t n);
+
+/// Plan-cache audit counters: a warmed-up serving loop must be all hits —
+/// every batch reuses the same row/column plans, so `misses` stays flat
+/// (one per distinct length) while `hits` grows with traffic.
+struct PlanCacheStats {
+  std::size_t cached_lengths = 0;  ///< distinct plan lengths resident
+  std::uint64_t hits = 0;          ///< plan_for calls served from cache
+  std::uint64_t misses = 0;        ///< plan_for calls that built a plan
+};
+PlanCacheStats plan_cache_stats();
 
 /// One-shot convenience over the plan cache.
 void transform(std::span<Cplx> data, Direction dir);

@@ -12,43 +12,66 @@ Propagator::Propagator(const GridSpec& grid, const PropagatorOptions& options)
   kernel_ = transfer_function(work_grid_, options.kernel);
 }
 
-Field Propagator::apply(const Field& input, bool conjugate_kernel) const {
-  ODONN_CHECK_SHAPE(input.grid() == grid_,
-                    "propagator grid does not match field grid");
+void Propagator::apply_inplace(MatrixC& values, Workspace& workspace,
+                               bool conjugate_kernel) const {
+  ODONN_CHECK_SHAPE(values.rows() == grid_.n && values.cols() == grid_.n,
+                    "propagator grid does not match sample buffer shape");
   const std::size_t n = grid_.n;
   const std::size_t wn = work_grid_.n;
 
-  MatrixC buf(wn, wn, std::complex<double>(0.0, 0.0));
+  MatrixC* buf = &values;
   if (options_.pad2x) {
-    // Center the aperture in the padded window.
+    // Center the aperture in the padded window (workspace reused across
+    // calls: zero it rather than reallocating once warmed up).
+    if (workspace.padded.rows() != wn || workspace.padded.cols() != wn) {
+      workspace.padded = MatrixC(wn, wn, std::complex<double>(0.0, 0.0));
+    } else {
+      workspace.padded.fill(std::complex<double>(0.0, 0.0));
+    }
     const std::size_t off = (wn - n) / 2;
     for (std::size_t r = 0; r < n; ++r) {
       for (std::size_t c = 0; c < n; ++c) {
-        buf(off + r, off + c) = input(r, c);
+        workspace.padded(off + r, off + c) = values(r, c);
       }
     }
-  } else {
-    buf = input.values();
+    buf = &workspace.padded;
   }
 
-  fft::transform_2d(buf.data(), wn, wn, fft::Direction::Forward);
+  fft::transform_2d(buf->data(), wn, wn, fft::Direction::Forward);
   if (conjugate_kernel) {
-    for (std::size_t i = 0; i < buf.size(); ++i) {
-      buf[i] *= std::conj(kernel_[i]);
+    for (std::size_t i = 0; i < buf->size(); ++i) {
+      (*buf)[i] *= std::conj(kernel_[i]);
     }
   } else {
-    for (std::size_t i = 0; i < buf.size(); ++i) buf[i] *= kernel_[i];
+    for (std::size_t i = 0; i < buf->size(); ++i) (*buf)[i] *= kernel_[i];
   }
-  fft::transform_2d(buf.data(), wn, wn, fft::Direction::Inverse);
+  fft::transform_2d(buf->data(), wn, wn, fft::Direction::Inverse);
 
-  if (!options_.pad2x) return Field(grid_, std::move(buf));
-
-  MatrixC out(n, n);
-  const std::size_t off = (wn - n) / 2;
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < n; ++c) out(r, c) = buf(off + r, off + c);
+  if (options_.pad2x) {
+    const std::size_t off = (wn - n) / 2;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        values(r, c) = workspace.padded(off + r, off + c);
+      }
+    }
   }
-  return Field(grid_, std::move(out));
+}
+
+Field Propagator::apply(const Field& input, bool conjugate_kernel) const {
+  ODONN_CHECK_SHAPE(input.grid() == grid_,
+                    "propagator grid does not match field grid");
+  MatrixC buf = input.values();
+  Workspace workspace;
+  apply_inplace(buf, workspace, conjugate_kernel);
+  return Field(grid_, std::move(buf));
+}
+
+void Propagator::forward_inplace(MatrixC& values, Workspace& workspace) const {
+  apply_inplace(values, workspace, /*conjugate_kernel=*/false);
+}
+
+void Propagator::adjoint_inplace(MatrixC& values, Workspace& workspace) const {
+  apply_inplace(values, workspace, /*conjugate_kernel=*/true);
 }
 
 Field Propagator::forward(const Field& input) const {

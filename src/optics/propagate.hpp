@@ -5,6 +5,13 @@
 // backpropagation: because the forward/inverse FFT scalings cancel, the
 // adjoint reuses the same machinery with the conjugated kernel
 // (see DESIGN.md §4).
+//
+// Thread safety: a constructed Propagator is immutable (cached transfer
+// function only) and all member functions are const, so one instance may be
+// shared across any number of threads — the serving path (src/serve) relies
+// on this to evaluate whole batches against a single cached kernel. The
+// *_inplace entry points additionally let hot loops reuse caller-owned
+// buffers so steady-state propagation performs no heap allocation.
 #pragma once
 
 #include <memory>
@@ -26,17 +33,34 @@ class Propagator {
   const GridSpec& grid() const { return grid_; }
   const PropagatorOptions& options() const { return options_; }
 
+  /// Caller-owned scratch for the *_inplace entry points. Only used when
+  /// pad2x is on (holds the zero-padded working frame); reusing one
+  /// workspace across calls avoids reallocating it per propagation.
+  struct Workspace {
+    MatrixC padded;
+  };
+
   /// Applies P to the field (same grid in and out).
   Field forward(const Field& input) const;
 
   /// Applies the adjoint P* (used to pull gradients back through free space).
   Field adjoint(const Field& grad_output) const;
 
+  /// In-place variants over a raw n x n sample buffer: `values` is consumed
+  /// and overwritten with the propagated samples. Bit-for-bit identical to
+  /// forward()/adjoint() (the Field entry points are thin wrappers over this
+  /// path), but allocation-free at steady state — the batched inference
+  /// engine calls these per sample with per-thread workspaces.
+  void forward_inplace(MatrixC& values, Workspace& workspace) const;
+  void adjoint_inplace(MatrixC& values, Workspace& workspace) const;
+
   /// The cached transfer function (on the padded grid if pad2x).
   const MatrixC& transfer() const { return kernel_; }
 
  private:
   Field apply(const Field& input, bool conjugate_kernel) const;
+  void apply_inplace(MatrixC& values, Workspace& workspace,
+                     bool conjugate_kernel) const;
 
   GridSpec grid_;
   PropagatorOptions options_;

@@ -1,0 +1,174 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace odonn::serve {
+
+InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry,
+                                 EngineOptions options)
+    : registry_(std::move(registry)), options_(options) {
+  ODONN_CHECK(registry_ != nullptr, "engine: null registry");
+  ODONN_CHECK(options_.max_batch >= 1, "engine: max_batch must be >= 1");
+  ODONN_CHECK(options_.max_queue >= 1, "engine: max_queue must be >= 1");
+  worker_ = std::thread([this] { drain_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<PredictResult> InferenceEngine::submit(
+    const std::string& model_name, optics::Field input) {
+  Request request;
+  request.model = model_name;
+  request.input = std::move(input);
+  request.enqueued = ServeStats::Clock::now();
+  std::future<PredictResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw Error("engine: submit after shutdown");
+    if (queue_.size() >= options_.max_queue) {
+      throw Error("engine: request queue full");
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !worker_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t InferenceEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void InferenceEngine::drain_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+
+      // Batch window: once work is pending, give co-submitted traffic a
+      // short chance to fill the batch — unless we are shutting down, in
+      // which case drain as fast as possible.
+      if (!stopping_ && queue_.size() < options_.max_batch &&
+          options_.batch_window.count() > 0) {
+        cv_.wait_for(lock, options_.batch_window, [this] {
+          return stopping_ || queue_.size() >= options_.max_batch;
+        });
+      }
+
+      const std::size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    // Group by model, preserving submission order within each group.
+    std::vector<std::pair<std::string, std::vector<Request*>>> groups;
+    for (Request& request : batch) {
+      auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+        return g.first == request.model;
+      });
+      if (it == groups.end()) {
+        groups.emplace_back(request.model, std::vector<Request*>{});
+        it = std::prev(groups.end());
+      }
+      it->second.push_back(&request);
+    }
+    for (auto& [name, group] : groups) {
+      run_group(name, std::move(group));
+    }
+
+    // Drop plan-cache entries whose registry name is gone, so erased or
+    // superseded snapshots (masks, modulation tables, kernel planes) don't
+    // stay resident for the engine's whole lifetime.
+    for (auto it = plans_.begin(); it != plans_.end();) {
+      if (registry_->find(it->first) == nullptr) {
+        it = plans_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void InferenceEngine::run_group(const std::string& model_name,
+                                std::vector<Request*> group) {
+  const auto fail = [&](std::exception_ptr error) {
+    for (Request* request : group) {
+      stats_.record_error();
+      request->promise.set_exception(error);
+    }
+  };
+
+  std::shared_ptr<const donn::DonnModel> model = registry_->find(model_name);
+  if (!model) {
+    fail(std::make_exception_ptr(
+        ConfigError("registry: unknown model '" + model_name + "'")));
+    return;
+  }
+
+  // Plan reuse: rebuild the forward pass only when the registry published a
+  // new snapshot under this name.
+  auto it = plans_.find(model_name);
+  if (it == plans_.end() || it->second.model_ptr() != model) {
+    it = plans_.insert_or_assign(model_name, BatchedForward(model)).first;
+  }
+  const BatchedForward& forward = it->second;
+
+  // Reject malformed requests individually before batching, so one bad
+  // input cannot poison the co-batched valid ones.
+  std::vector<Request*> valid;
+  valid.reserve(group.size());
+  for (Request* request : group) {
+    if (request->input.grid() == model->config().grid) {
+      valid.push_back(request);
+    } else {
+      stats_.record_error();
+      request->promise.set_exception(std::make_exception_ptr(ShapeError(
+          "engine: input grid does not match model '" + model_name + "'")));
+    }
+  }
+  group = std::move(valid);
+  if (group.empty()) return;
+
+  std::vector<optics::Field> inputs;
+  inputs.reserve(group.size());
+  for (Request* request : group) inputs.push_back(std::move(request->input));
+
+  BatchedForward::Result result;
+  try {
+    result = forward.run(inputs);
+  } catch (...) {
+    fail(std::current_exception());
+    return;
+  }
+
+  stats_.record_batch(group.size());
+  const ServeStats::Clock::time_point done = ServeStats::Clock::now();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    PredictResult prediction;
+    prediction.predicted = result.predictions[i];
+    prediction.detector_sums = std::move(result.detector_sums[i]);
+    stats_.record_request(
+        std::chrono::duration<double>(done - group[i]->enqueued).count());
+    group[i]->promise.set_value(std::move(prediction));
+  }
+}
+
+}  // namespace odonn::serve

@@ -1,0 +1,109 @@
+// InferenceEngine — asynchronous request queue in front of BatchedForward.
+//
+// Callers submit (model name, input field) pairs and get a std::future per
+// request. A dedicated drain thread collects requests into batches — waiting
+// up to `batch_window` for the queue to reach `max_batch` once work is
+// pending — groups them by model, and evaluates each group with a cached,
+// plan-reusing BatchedForward (rebuilt only when the registry entry for that
+// name is replaced, so steady traffic pays the modulation-table setup once
+// per published model, not per batch). Within a batch, sample-level
+// parallelism comes from common/parallel inside infer_batch.
+//
+// Shutdown is graceful: the drain thread finishes everything already queued
+// before exiting; submissions after shutdown() throw.
+//
+// Thread safety: submit()/stats()/pending() are safe from any thread.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/batched_forward.hpp"
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+
+namespace odonn::serve {
+
+struct EngineOptions {
+  /// Largest batch handed to one BatchedForward call.
+  std::size_t max_batch = 64;
+  /// How long the drain thread waits for a partial batch to fill before
+  /// running it anyway. Zero serves whatever is queued immediately.
+  std::chrono::microseconds batch_window{200};
+  /// Backpressure bound: submit() throws once this many requests queue up.
+  std::size_t max_queue = 1 << 16;
+};
+
+struct PredictResult {
+  std::size_t predicted = 0;            ///< argmax class
+  std::vector<double> detector_sums;    ///< raw per-class intensity sums
+};
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(std::shared_ptr<ModelRegistry> registry,
+                           EngineOptions options = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Enqueues one sample against the named registry model. The future
+  /// resolves to the prediction, or to an exception (unknown model, grid
+  /// mismatch). Throws Error when the engine is shut down or the queue is
+  /// at max_queue.
+  std::future<PredictResult> submit(const std::string& model_name,
+                                    optics::Field input);
+
+  /// Drains all queued requests, then stops the worker. Idempotent; called
+  /// by the destructor.
+  void shutdown();
+
+  /// Requests queued but not yet drained into a batch.
+  std::size_t pending() const;
+
+  const EngineOptions& options() const { return options_; }
+
+  ServeStats::Snapshot stats() const { return stats_.snapshot(); }
+
+  /// Clears counters and the latency window (e.g. between a warm-up phase
+  /// and a measured run). In-flight requests keep completing normally.
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  struct Request {
+    std::string model;
+    optics::Field input;
+    std::promise<PredictResult> promise;
+    ServeStats::Clock::time_point enqueued;
+  };
+
+  void drain_loop();
+  void run_group(const std::string& model_name, std::vector<Request*> group);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  EngineOptions options_;
+  ServeStats stats_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  /// Drain-thread-only plan cache (no lock needed): name -> forward pass
+  /// built against a specific published model snapshot.
+  std::unordered_map<std::string, BatchedForward> plans_;
+
+  std::thread worker_;
+};
+
+}  // namespace odonn::serve

@@ -1,0 +1,62 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "donn/serialize.hpp"
+
+namespace odonn::serve {
+
+std::shared_ptr<const donn::DonnModel> ModelRegistry::add(
+    const std::string& name, donn::DonnModel model) {
+  ODONN_CHECK(!name.empty(), "registry: model name must be non-empty");
+  auto snapshot =
+      std::make_shared<const donn::DonnModel>(std::move(model));
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = snapshot;
+  return snapshot;
+}
+
+std::shared_ptr<const donn::DonnModel> ModelRegistry::load(
+    const std::string& name, const std::string& path) {
+  // Deserialize outside the lock: checkpoint I/O can be slow and must not
+  // stall concurrent lookups.
+  return add(name, donn::load_model(path));
+}
+
+std::shared_ptr<const donn::DonnModel> ModelRegistry::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const donn::DonnModel> ModelRegistry::get(
+    const std::string& name) const {
+  auto model = find(name);
+  if (!model) throw ConfigError("registry: unknown model '" + name + "'");
+  return model;
+}
+
+bool ModelRegistry::erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(models_.size());
+    for (const auto& [name, model] : models_) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace odonn::serve

@@ -1,0 +1,57 @@
+// ModelRegistry — named, immutable model variants for one serving process.
+//
+// The paper's pipeline produces several artifacts from one training run
+// (dense-trained, SLR-sparsified, 2*pi-smoothed masks); the registry lets a
+// single InferenceEngine A/B all of them by name. Models enter either
+// in-memory (add) or from donn/serialize checkpoints (load) and are
+// published as shared_ptr<const DonnModel>, which is what makes concurrent
+// serving safe: replacing a name swaps the pointer, in-flight batches keep
+// their snapshot alive.
+//
+// Thread safety: all members are safe for concurrent use (internal mutex).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "donn/model.hpp"
+
+namespace odonn::serve {
+
+class ModelRegistry {
+ public:
+  /// Publishes `model` under `name` (replaces any existing entry) and
+  /// returns the published snapshot.
+  std::shared_ptr<const donn::DonnModel> add(const std::string& name,
+                                             donn::DonnModel model);
+
+  /// Loads a donn/serialize checkpoint from `path` and publishes it under
+  /// `name`. Throws IoError on malformed files.
+  std::shared_ptr<const donn::DonnModel> load(const std::string& name,
+                                              const std::string& path);
+
+  /// Snapshot for `name`, or nullptr when absent.
+  std::shared_ptr<const donn::DonnModel> find(const std::string& name) const;
+
+  /// Snapshot for `name`; throws ConfigError when absent.
+  std::shared_ptr<const donn::DonnModel> get(const std::string& name) const;
+
+  /// Removes `name`; returns whether an entry was removed. In-flight users
+  /// of the snapshot are unaffected.
+  bool erase(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const donn::DonnModel>>
+      models_;
+};
+
+}  // namespace odonn::serve

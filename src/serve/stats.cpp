@@ -1,0 +1,91 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odonn::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted copy; q in (0, 1].
+double percentile(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  const std::size_t index = (rank == 0 ? 1 : rank) - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(index),
+                   values.end());
+  return values[index];
+}
+
+}  // namespace
+
+void ServeStats::record_request(double latency_seconds) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_;
+  if (window_.size() < kWindowCapacity) {
+    window_.push_back(latency_seconds);
+  } else {
+    window_[next_] = latency_seconds;
+    next_ = (next_ + 1) % kWindowCapacity;
+  }
+  max_latency_ = std::max(max_latency_, latency_seconds);
+  if (!have_first_) {
+    have_first_ = true;
+    first_done_ = now;
+  }
+  last_done_ = now;
+}
+
+void ServeStats::record_batch(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  batched_samples_ += size;
+}
+
+void ServeStats::record_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++errors_;
+}
+
+ServeStats::Snapshot ServeStats::snapshot() const {
+  std::vector<double> window;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window = window_;
+    snap.requests = requests_;
+    snap.batches = batches_;
+    snap.errors = errors_;
+    snap.mean_batch_size =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(batched_samples_) /
+                            static_cast<double>(batches_);
+    snap.max_ms = max_latency_ * 1e3;
+    if (have_first_) {
+      snap.window_seconds =
+          std::chrono::duration<double>(last_done_ - first_done_).count();
+    }
+  }
+  snap.p50_ms = percentile(window, 0.50) * 1e3;
+  snap.p90_ms = percentile(window, 0.90) * 1e3;
+  snap.p99_ms = percentile(window, 0.99) * 1e3;
+  if (snap.window_seconds > 0.0) {
+    snap.throughput_rps =
+        static_cast<double>(snap.requests) / snap.window_seconds;
+  }
+  return snap;
+}
+
+void ServeStats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_.clear();
+  next_ = 0;
+  requests_ = batches_ = batched_samples_ = errors_ = 0;
+  max_latency_ = 0.0;
+  have_first_ = false;
+}
+
+}  // namespace odonn::serve

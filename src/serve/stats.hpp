@@ -1,0 +1,68 @@
+// ServeStats — latency percentiles and throughput counters for the serving
+// engine.
+//
+// Request latencies (submit -> response ready) go into a fixed-capacity
+// ring so memory stays bounded under sustained traffic; percentiles are
+// computed over the retained window with the nearest-rank rule
+// (p(q) = sorted[ceil(q*count)] counting from 1). Throughput is completed
+// requests divided by the span between the first and last completion.
+//
+// Thread safety: all members are safe for concurrent use (internal mutex).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace odonn::serve {
+
+class ServeStats {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Snapshot {
+    std::uint64_t requests = 0;   ///< completed requests
+    std::uint64_t batches = 0;    ///< BatchedForward invocations
+    std::uint64_t errors = 0;     ///< requests failed with an exception
+    double mean_batch_size = 0.0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+    double window_seconds = 0.0;     ///< first-to-last completion span
+    double throughput_rps = 0.0;     ///< requests / window_seconds
+  };
+
+  /// Records one completed request with its submit->done latency.
+  void record_request(double latency_seconds);
+
+  /// Records one drained batch of `size` samples.
+  void record_batch(std::size_t size);
+
+  /// Records a request that completed with an error.
+  void record_error();
+
+  Snapshot snapshot() const;
+
+  /// Clears all counters and the latency window.
+  void reset();
+
+ private:
+  static constexpr std::size_t kWindowCapacity = 1 << 15;
+
+  mutable std::mutex mutex_;
+  std::vector<double> window_;   ///< ring of latency seconds
+  std::size_t next_ = 0;         ///< ring write cursor
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_samples_ = 0;
+  std::uint64_t errors_ = 0;
+  double max_latency_ = 0.0;
+  bool have_first_ = false;
+  Clock::time_point first_done_{};
+  Clock::time_point last_done_{};
+};
+
+}  // namespace odonn::serve

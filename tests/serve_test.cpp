@@ -1,0 +1,487 @@
+// Tests for src/serve: batched-vs-single-sample parity (bit-for-bit on
+// predictions, detector sums and intensities, including pad2x and masked
+// models), FFT-plan reuse across batches, registry round-trips through
+// donn/serialize, engine request/future semantics under concurrent
+// submission, and the stats percentile rules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "donn/model.hpp"
+#include "donn/serialize.hpp"
+#include "fft/fft_plan.hpp"
+#include "optics/encode.hpp"
+#include "serve/batched_forward.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+#include "sparsify/schemes.hpp"
+
+namespace odonn::serve {
+namespace {
+
+donn::DonnConfig tiny_config(std::size_t n = 16, std::size_t layers = 2) {
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(n);
+  cfg.num_layers = layers;
+  cfg.init = donn::PhaseInit::Uniform;  // structured masks, not near-flat
+  return cfg;
+}
+
+donn::DonnModel make_model(const donn::DonnConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  return donn::DonnModel(cfg, rng);
+}
+
+std::vector<optics::Field> random_inputs(const optics::GridSpec& grid,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<optics::Field> inputs;
+  inputs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    MatrixD image(grid.n, grid.n);
+    for (auto& v : image) v = rng.uniform();
+    inputs.push_back(optics::encode_image(image, grid));
+  }
+  return inputs;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PropagatorInplace, MatchesFieldEntryPointExactly) {
+  const donn::DonnConfig cfg = tiny_config(16, 1);
+  const donn::DonnModel model = make_model(cfg, 11);
+  const auto inputs = random_inputs(cfg.grid, 1, 12);
+
+  const optics::Field via_field = model.propagator().forward(inputs[0]);
+  MatrixC buf = inputs[0].values();
+  optics::Propagator::Workspace workspace;
+  model.propagator().forward_inplace(buf, workspace);
+  EXPECT_EQ(max_abs_diff(via_field.values(), buf), 0.0);
+
+  const optics::Field adj_field = model.propagator().adjoint(inputs[0]);
+  MatrixC adj_buf = inputs[0].values();
+  model.propagator().adjoint_inplace(adj_buf, workspace);
+  EXPECT_EQ(max_abs_diff(adj_field.values(), adj_buf), 0.0);
+}
+
+TEST(PropagatorInplace, Pad2xMatchesFieldEntryPoint) {
+  donn::DonnConfig cfg = tiny_config(16, 1);
+  cfg.pad2x = true;
+  const donn::DonnModel model = make_model(cfg, 13);
+  const auto inputs = random_inputs(cfg.grid, 1, 14);
+
+  const optics::Field via_field = model.propagator().forward(inputs[0]);
+  MatrixC buf = inputs[0].values();
+  optics::Propagator::Workspace workspace;
+  model.propagator().forward_inplace(buf, workspace);
+  EXPECT_EQ(max_abs_diff(via_field.values(), buf), 0.0);
+
+  // Workspace reuse across calls must not change results.
+  MatrixC again = inputs[0].values();
+  model.propagator().forward_inplace(again, workspace);
+  EXPECT_EQ(max_abs_diff(via_field.values(), again), 0.0);
+}
+
+TEST(ModulationTables, MatchPhaseMasks) {
+  const donn::DonnConfig cfg = tiny_config(16, 3);
+  const donn::DonnModel model = make_model(cfg, 21);
+  const auto mods = model.modulation_tables();
+  ASSERT_EQ(mods.size(), model.num_layers());
+  for (std::size_t l = 0; l < mods.size(); ++l) {
+    const MatrixD& phi = model.phases()[l];
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      EXPECT_EQ(mods[l][i].real(), std::cos(phi[i]));
+      EXPECT_EQ(mods[l][i].imag(), std::sin(phi[i]));
+    }
+  }
+}
+
+TEST(BatchedInference, BitForBitParityWithSingleSample) {
+  const donn::DonnConfig cfg = tiny_config(16, 3);
+  const donn::DonnModel model = make_model(cfg, 31);
+  const auto inputs = random_inputs(cfg.grid, 9, 32);
+
+  const auto predictions = model.predict_batch(inputs);
+  const auto sums = model.detector_sums_batch(inputs);
+  const auto intensities = model.output_intensity_batch(inputs);
+  ASSERT_EQ(predictions.size(), inputs.size());
+  ASSERT_EQ(sums.size(), inputs.size());
+  ASSERT_EQ(intensities.size(), inputs.size());
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(predictions[k], model.predict(inputs[k]));
+    const auto single_sums = model.detector_sums(inputs[k]);
+    ASSERT_EQ(sums[k].size(), single_sums.size());
+    for (std::size_t c = 0; c < single_sums.size(); ++c) {
+      // Exact equality: the batched path performs identical arithmetic.
+      EXPECT_EQ(sums[k][c], single_sums[c]);
+    }
+    EXPECT_EQ(max_abs_diff(intensities[k], model.output_intensity(inputs[k])),
+              0.0);
+  }
+}
+
+TEST(BatchedInference, Pad2xParity) {
+  donn::DonnConfig cfg = tiny_config(16, 2);
+  cfg.pad2x = true;
+  const donn::DonnModel model = make_model(cfg, 41);
+  const auto inputs = random_inputs(cfg.grid, 5, 42);
+
+  const auto sums = model.detector_sums_batch(inputs);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    const auto single = model.detector_sums(inputs[k]);
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(sums[k][c], single[c]);
+    }
+  }
+}
+
+TEST(BatchedInference, SparsifiedModelParity) {
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  donn::DonnModel model = make_model(cfg, 51);
+  sparsify::SchemeOptions scheme;
+  scheme.scheme = sparsify::Scheme::Block;
+  scheme.ratio = 0.2;
+  scheme.block_size = 2;
+  std::vector<sparsify::SparsityMask> masks;
+  for (const auto& phi : model.phases()) {
+    masks.push_back(sparsify::sparsify(phi, scheme));
+  }
+  model.set_masks(std::move(masks));
+
+  const auto inputs = random_inputs(cfg.grid, 6, 52);
+  const auto predictions = model.predict_batch(inputs);
+  const auto sums = model.detector_sums_batch(inputs);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(predictions[k], model.predict(inputs[k]));
+    const auto single = model.detector_sums(inputs[k]);
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(sums[k][c], single[c]);
+    }
+  }
+}
+
+TEST(BatchedInference, EmptyBatchAndShapeErrors) {
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  const donn::DonnModel model = make_model(cfg, 61);
+  EXPECT_TRUE(model.predict_batch({}).empty());
+
+  const auto wrong = random_inputs(donn::DonnConfig::scaled(32).grid, 1, 62);
+  EXPECT_THROW(model.predict_batch(wrong), ShapeError);
+
+  std::vector<MatrixC> bad_mods(model.num_layers() - 1);
+  std::vector<std::size_t> predictions;
+  EXPECT_THROW(
+      model.infer_batch({}, bad_mods, &predictions, nullptr, nullptr),
+      ShapeError);
+}
+
+TEST(BatchedForwardPass, FusedKernelBitForBitParity) {
+  // Power-of-two grid without padding -> the cross-sample vectorized
+  // BatchKernel serves the batch; its per-lane arithmetic must match the
+  // single-sample path exactly, including ragged final lane groups.
+  const donn::DonnConfig cfg = tiny_config(16, 3);
+  auto model = std::make_shared<const donn::DonnModel>(make_model(cfg, 171));
+  const BatchedForward forward(model);
+  ASSERT_TRUE(forward.fused());
+
+  const auto inputs = random_inputs(cfg.grid, 9, 172);  // 9 = 2*4 + 1 lanes
+  const auto result = forward.run(inputs);
+  ASSERT_EQ(result.predictions.size(), inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(result.predictions[k], model->predict(inputs[k]));
+    const auto single = model->detector_sums(inputs[k]);
+    ASSERT_EQ(result.detector_sums[k].size(), single.size());
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(result.detector_sums[k][c], single[c]);
+    }
+  }
+  EXPECT_TRUE(forward.run({}).predictions.empty());
+}
+
+TEST(BatchedForwardPass, BluesteinGridFallsBackWithParity) {
+  // 20 is not a power of two: the generic infer_batch path must serve the
+  // batch (no fused kernel) with the same exact-parity guarantee.
+  const donn::DonnConfig cfg = tiny_config(20, 2);
+  auto model = std::make_shared<const donn::DonnModel>(make_model(cfg, 181));
+  const BatchedForward forward(model);
+  ASSERT_FALSE(forward.fused());
+
+  const auto inputs = random_inputs(cfg.grid, 5, 182);
+  const auto result = forward.run(inputs);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(result.predictions[k], model->predict(inputs[k]));
+    const auto single = model->detector_sums(inputs[k]);
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(result.detector_sums[k][c], single[c]);
+    }
+  }
+}
+
+TEST(BatchedForwardPass, Pad2xFallsBackWithParity) {
+  donn::DonnConfig cfg = tiny_config(16, 2);
+  cfg.pad2x = true;
+  auto model = std::make_shared<const donn::DonnModel>(make_model(cfg, 191));
+  const BatchedForward forward(model);
+  ASSERT_FALSE(forward.fused());
+  const auto inputs = random_inputs(cfg.grid, 3, 192);
+  const auto predictions = forward.predict(inputs);
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(predictions[k], model->predict(inputs[k]));
+  }
+}
+
+TEST(BatchedForwardPass, ReusesPlansAcrossBatches) {
+  // Bluestein grid -> the generic infer_batch path, which goes through the
+  // shared fft::plan_for cache (the fused radix-2 kernel snapshots its own
+  // tables at construction and never touches the cache at run time).
+  const donn::DonnConfig cfg = tiny_config(20, 2);
+  auto model = std::make_shared<const donn::DonnModel>(make_model(cfg, 71));
+  const BatchedForward forward(model);
+  const auto inputs = random_inputs(cfg.grid, 4, 72);
+
+  const auto first = forward.run(inputs);  // warm-up: builds any new plans
+  const auto before = fft::plan_cache_stats();
+  const auto second = forward.run(inputs);
+  const auto after = fft::plan_cache_stats();
+
+  // Identical results batch to batch, with zero new FFT plans built and the
+  // existing ones re-served from the cache.
+  ASSERT_EQ(first.predictions.size(), second.predictions.size());
+  for (std::size_t k = 0; k < first.predictions.size(); ++k) {
+    EXPECT_EQ(first.predictions[k], second.predictions[k]);
+    for (std::size_t c = 0; c < first.detector_sums[k].size(); ++c) {
+      EXPECT_EQ(first.detector_sums[k][c], second.detector_sums[k][c]);
+    }
+  }
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.cached_lengths, before.cached_lengths);
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Registry, AddGetNamesErase) {
+  ModelRegistry registry;
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry.add("dense", make_model(cfg, 81));
+  registry.add("smoothed", make_model(cfg, 82));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"dense", "smoothed"}));
+  EXPECT_NE(registry.find("dense"), nullptr);
+  EXPECT_EQ(registry.find("absent"), nullptr);
+  EXPECT_THROW(registry.get("absent"), ConfigError);
+  EXPECT_TRUE(registry.erase("dense"));
+  EXPECT_FALSE(registry.erase("dense"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, SerializeRoundTripServesIdentically) {
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  const donn::DonnModel model = make_model(cfg, 91);
+  const std::string path = temp_path("serve_registry_model.odnn");
+  donn::save_model(model, path);
+
+  ModelRegistry registry;
+  const auto loaded = registry.load("reloaded", path);
+  ASSERT_EQ(loaded->num_layers(), model.num_layers());
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    EXPECT_EQ(max_abs_diff(loaded->phases()[l], model.phases()[l]), 0.0);
+  }
+
+  const auto inputs = random_inputs(cfg.grid, 5, 92);
+  const auto from_disk = loaded->predict_batch(inputs);
+  const auto in_memory = model.predict_batch(inputs);
+  EXPECT_EQ(from_disk, in_memory);
+}
+
+TEST(Stats, NearestRankPercentilesAndCounters) {
+  ServeStats stats;
+  // 1ms..100ms: p50 = 50ms, p90 = 90ms, p99 = 99ms, max = 100ms.
+  for (int ms = 1; ms <= 100; ++ms) {
+    stats.record_request(static_cast<double>(ms) * 1e-3);
+  }
+  stats.record_batch(60);
+  stats.record_batch(40);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.requests, 100u);
+  EXPECT_EQ(snap.batches, 2u);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 50.0);
+  EXPECT_NEAR(snap.p50_ms, 50.0, 1e-9);
+  EXPECT_NEAR(snap.p90_ms, 90.0, 1e-9);
+  EXPECT_NEAR(snap.p99_ms, 99.0, 1e-9);
+  EXPECT_NEAR(snap.max_ms, 100.0, 1e-9);
+
+  stats.reset();
+  const auto cleared = stats.snapshot();
+  EXPECT_EQ(cleared.requests, 0u);
+  EXPECT_EQ(cleared.p99_ms, 0.0);
+}
+
+TEST(Engine, ResolvesRequestsMatchingSingleSamplePath) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  auto model = registry->add("m", make_model(cfg, 101));
+  const auto inputs = random_inputs(cfg.grid, 20, 102);
+
+  InferenceEngine engine(registry);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(engine.submit("m", input));
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    PredictResult result = futures[k].get();
+    EXPECT_EQ(result.predicted, model->predict(inputs[k]));
+    const auto single = model->detector_sums(inputs[k]);
+    ASSERT_EQ(result.detector_sums.size(), single.size());
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(result.detector_sums[c], single[c]);
+    }
+  }
+  const auto snap = engine.stats();
+  EXPECT_EQ(snap.requests, inputs.size());
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_GE(snap.mean_batch_size, 1.0);
+}
+
+TEST(Engine, ConcurrentSubmissionStress) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  auto model = registry->add("m", make_model(cfg, 111));
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 25;
+  const auto inputs = random_inputs(cfg.grid, kThreads * kPerThread, 112);
+  std::vector<std::size_t> expected;
+  expected.reserve(inputs.size());
+  for (const auto& input : inputs) expected.push_back(model->predict(input));
+
+  EngineOptions options;
+  options.max_batch = 16;
+  InferenceEngine engine(registry, options);
+
+  std::vector<std::size_t> got(inputs.size(), ~std::size_t{0});
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t k = t * kPerThread + i;
+        got[k] = engine.submit("m", inputs[k]).get().predicted;
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(got[k], expected[k]) << "sample " << k;
+  }
+  const auto snap = engine.stats();
+  EXPECT_EQ(snap.requests, inputs.size());
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_GE(snap.batches, 1u);
+  EXPECT_GT(snap.throughput_rps, 0.0);
+}
+
+TEST(Engine, ServesMultipleVariantsInOneBatchWindow) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  auto dense = registry->add("dense", make_model(cfg, 121));
+  auto smoothed = registry->add("smoothed", make_model(cfg, 122));
+  const auto inputs = random_inputs(cfg.grid, 12, 123);
+
+  InferenceEngine engine(registry);
+  std::vector<std::future<PredictResult>> dense_futures;
+  std::vector<std::future<PredictResult>> smoothed_futures;
+  for (const auto& input : inputs) {
+    dense_futures.push_back(engine.submit("dense", input));
+    smoothed_futures.push_back(engine.submit("smoothed", input));
+  }
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(dense_futures[k].get().predicted, dense->predict(inputs[k]));
+    EXPECT_EQ(smoothed_futures[k].get().predicted,
+              smoothed->predict(inputs[k]));
+  }
+}
+
+TEST(Engine, UnknownModelRejectsViaFuture) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 131));
+  const auto inputs = random_inputs(cfg.grid, 1, 132);
+
+  InferenceEngine engine(registry);
+  auto future = engine.submit("no-such-model", inputs[0]);
+  EXPECT_THROW(future.get(), ConfigError);
+  auto ok = engine.submit("m", inputs[0]);
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(Engine, BadInputFailsAloneWithoutPoisoningItsBatch) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  auto model = registry->add("m", make_model(cfg, 161));
+  const auto good = random_inputs(cfg.grid, 4, 162);
+  const auto bad = random_inputs(donn::DonnConfig::scaled(32).grid, 1, 163);
+
+  // Long batch window so the malformed request is co-batched with valid
+  // ones; only its own future may fail.
+  EngineOptions options;
+  options.batch_window = std::chrono::microseconds(20000);
+  options.max_batch = 8;
+  InferenceEngine engine(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  futures.push_back(engine.submit("m", good[0]));
+  futures.push_back(engine.submit("m", bad[0]));
+  futures.push_back(engine.submit("m", good[1]));
+
+  EXPECT_EQ(futures[0].get().predicted, model->predict(good[0]));
+  EXPECT_THROW(futures[1].get(), ShapeError);
+  EXPECT_EQ(futures[2].get().predicted, model->predict(good[1]));
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(Engine, ShutdownDrainsQueuedWorkAndRejectsNewWork) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 141));
+  const auto inputs = random_inputs(cfg.grid, 10, 142);
+
+  InferenceEngine engine(registry);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(engine.submit("m", input));
+  }
+  engine.shutdown();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  EXPECT_THROW(engine.submit("m", inputs[0]), Error);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(Engine, HotSwapPicksUpReplacedModel) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 151));
+  const auto inputs = random_inputs(cfg.grid, 3, 152);
+
+  InferenceEngine engine(registry);
+  for (const auto& input : inputs) engine.submit("m", input).get();
+
+  // Replace the published snapshot; subsequent requests must be served by
+  // the new masks (plan cache rebuilds against the new pointer).
+  auto replacement = registry->add("m", make_model(cfg, 153));
+  for (const auto& input : inputs) {
+    EXPECT_EQ(engine.submit("m", input).get().predicted,
+              replacement->predict(input));
+  }
+}
+
+}  // namespace
+}  // namespace odonn::serve
