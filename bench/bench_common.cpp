@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
@@ -24,9 +25,13 @@ const char* scale_name(Scale scale) {
   return "?";
 }
 
-BenchConfig make_bench_config(int argc, char** argv) {
-  const Config cfg = Config::from_args(argc, argv);
-  const std::string scale_str = cfg.get_string("bench.scale", "default");
+std::vector<std::string> bench_config_keys() {
+  return {"bench.scale", "grid", "samples", "seed", "format"};
+}
+
+BenchConfig make_bench_config(const Config& cfg) {
+  const std::string scale_str =
+      cfg.get_enum("bench.scale", "default", {"smoke", "default", "paper"});
 
   BenchConfig bc;
   if (scale_str == "smoke") {
@@ -47,16 +52,20 @@ BenchConfig make_bench_config(int argc, char** argv) {
     bc.epochs_finetune = 2;
     bc.batch = 200;
     bc.two_pi_iterations = 3000;
-  } else if (scale_str == "default") {
-    bc = BenchConfig{};
   } else {
-    throw ConfigError("unknown bench scale '" + scale_str + "'");
+    bc = BenchConfig{};
   }
   bc.grid = static_cast<std::size_t>(cfg.get_int("grid", static_cast<long>(bc.grid)));
   bc.samples = static_cast<std::size_t>(
       cfg.get_int("samples", static_cast<long>(bc.samples)));
   bc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
   return bc;
+}
+
+BenchConfig make_bench_config(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  cfg.strict(bench_config_keys());
+  return make_bench_config(cfg);
 }
 
 train::RecipeOptions recipe_options(const BenchConfig& cfg,
@@ -126,32 +135,125 @@ bool shape_check(bool pass, const std::string& description) {
   return pass;
 }
 
-int run_table_bench(const char* title, data::SyntheticFamily family,
-                    std::size_t paper_block,
-                    const std::vector<PaperRow>& paper, int argc,
-                    char** argv) {
-  const BenchConfig cfg = make_bench_config(argc, argv);
-  std::printf("=== %s ===\n", title);
+// ------------------------------------------------------- table registry
+
+const std::vector<TableSpec>& all_table_specs() {
+  // Paper-reported numbers from Tables II-V (accuracy %, R_overall before /
+  // after the 2*pi optimization; negative after = the paper's "-" cell).
+  static const std::vector<TableSpec> specs = {
+      {"table2_mnist", "Table II: MNIST (digit stand-in)",
+       data::SyntheticFamily::Digits, 25,
+       {{"[5,6,8]", 96.67, 466.39, 460.85}, {"Ours-A", 96.18, 416.07, -1.0},
+        {"Ours-B", 96.38, 538.78, 400.38},  {"Ours-C", 96.47, 409.41, 299.87},
+        {"Ours-D", 95.90, 375.35, 280.32}}},
+      {"table3_fmnist", "Table III: FMNIST (fashion stand-in)",
+       data::SyntheticFamily::Fashion, 20,
+       {{"[5,6,8]", 87.98, 464.78, 461.98}, {"Ours-A", 86.99, 421.49, -1.0},
+        {"Ours-B", 87.88, 488.11, 438.53},  {"Ours-C", 86.79, 350.67, 305.86},
+        {"Ours-D", 85.76, 450.73, 229.70}}},
+      {"table4_kmnist", "Table IV: KMNIST (kana stand-in)",
+       data::SyntheticFamily::Kana, 20,
+       {{"[5,6,8]", 86.92, 460.61, 445.57}, {"Ours-A", 85.26, 462.70, -1.0},
+        {"Ours-B", 86.83, 473.08, 432.26},  {"Ours-C", 85.01, 396.84, 331.22},
+        {"Ours-D", 83.19, 327.48, 288.42}}},
+      {"table5_emnist", "Table V: EMNIST (letter stand-in)",
+       data::SyntheticFamily::Letters, 20,
+       {{"[5,6,8]", 92.30, 463.42, 458.48}, {"Ours-A", 91.61, 435.58, -1.0},
+        {"Ours-B", 92.36, 465.85, 443.91},  {"Ours-C", 91.16, 349.61, 336.75},
+        {"Ours-D", 90.74, 312.17, 298.09}}}};
+  return specs;
+}
+
+const TableSpec& table_spec(data::SyntheticFamily family) {
+  for (const TableSpec& spec : all_table_specs()) {
+    if (spec.family == family) return spec;
+  }
+  throw ConfigError("no paper table registered for this dataset family");
+}
+
+OutputFormat parse_format(const Config& cfg) {
+  const std::string format =
+      cfg.get_enum("format", "both", {"text", "json", "both"});
+  if (format == "text") return OutputFormat::Text;
+  if (format == "json") return OutputFormat::Json;
+  return OutputFormat::Both;
+}
+
+// ------------------------------------------------------- table driver
+
+namespace {
+
+struct TimedRow {
+  train::RecipeResult result;
+  double seconds = 0.0;
+};
+
+int table_shape_checks(const std::vector<TimedRow>& rows,
+                       const BenchConfig& cfg, bool print) {
+  // Shape checks: the paper's qualitative claims on this table.
+  const auto& base = rows[0].result;
+  const auto& a = rows[1].result;
+  const auto& b = rows[2].result;
+  const auto& c = rows[3].result;
+  const auto& d = rows[4].result;
+  struct Check {
+    bool pass;
+    const char* description;
+  };
+  std::vector<Check> checks = {
+      {a.roughness_before < base.roughness_before,
+       "Ours-A (roughness-aware) smoother than baseline"},
+      {b.roughness_after < b.roughness_before,
+       "2pi optimization reduces Ours-B roughness"},
+      {c.roughness_after < base.roughness_before,
+       "Ours-C after 2pi smoother than baseline (paper: 28-36% reduction)"},
+      {d.roughness_after <= c.roughness_after * 1.05,
+       "Ours-D at least as smooth as Ours-C after 2pi"}};
+  if (cfg.scale != Scale::Smoke) {
+    // Accuracy-ordering claims need more than the smoke scale's single
+    // epoch to be meaningful.
+    checks.push_back({base.accuracy - d.accuracy < 0.12,
+                      "Ours-D accuracy within a few points of baseline"});
+    // Paper: Ours-B accuracy is at or above Ours-A. At this reduced scale
+    // the SLR schedule gets 2 epochs + 1 mask-frozen epoch (vs the paper's
+    // dozens), which can cost a few points on the harder glyph tasks.
+    checks.push_back({b.accuracy >= a.accuracy - 0.08,
+                      "sparsified model keeps accuracy vs Ours-A "
+                      "(reduced-schedule slack)"});
+  } else if (print) {
+    std::printf("[check] SKIP  accuracy-ordering checks (smoke scale trains "
+                "a single epoch)\n");
+  }
+  int failures = 0;
+  for (const Check& check : checks) {
+    if (print) {
+      failures += !shape_check(check.pass, check.description);
+    } else {
+      failures += !check.pass;
+    }
+  }
+  return failures;
+}
+
+void print_table_text(const TableSpec& spec, const BenchConfig& cfg,
+                      const std::vector<TimedRow>& rows) {
+  std::printf("=== %s ===\n", spec.title);
   std::printf("scale=%s grid=%zu samples=%zu epochs=%zu+%zu+%zu block=%zu "
               "(paper block %zu on 200) sparsity=0.1 seed=%llu\n",
               scale_name(cfg.scale), cfg.grid, cfg.samples, cfg.epochs_dense,
               cfg.epochs_sparse, cfg.epochs_finetune,
-              cfg.scaled_block(paper_block), paper_block,
+              cfg.scaled_block(spec.paper_block), spec.paper_block,
               static_cast<unsigned long long>(cfg.seed));
   std::printf("note: measured numbers come from a CPU-sized synthetic rerun; "
               "compare SHAPE, not absolutes (DESIGN.md 2).\n\n");
-
-  const auto opt = recipe_options(cfg, paper_block);
-  const auto dataset = prepare_dataset(family, cfg);
-  const auto rows = train::run_table(opt, dataset.train, dataset.test);
 
   std::printf("%-10s | %21s | %25s | %25s\n", "model", "accuracy (%)",
               "R_overall before 2pi", "R_overall after 2pi");
   std::printf("%-10s | %10s %10s | %12s %12s | %12s %12s\n", "", "paper",
               "measured", "paper", "measured", "paper", "measured");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& m = rows[i];
-    const auto& p = paper[i];
+    const auto& m = rows[i].result;
+    const auto& p = spec.paper[i];
     char after_paper[32];
     if (p.r_after < 0.0) {
       std::snprintf(after_paper, sizeof(after_paper), "%12s", "-");
@@ -162,48 +264,85 @@ int run_table_bench(const char* title, data::SyntheticFamily family,
                 p.model, p.acc, 100.0 * m.accuracy, p.r_before,
                 m.roughness_before, after_paper, m.roughness_after);
   }
+}
 
-  // Shape checks: the paper's qualitative claims on this table.
-  const auto& base = rows[0];
-  const auto& a = rows[1];
-  const auto& b = rows[2];
-  const auto& c = rows[3];
-  const auto& d = rows[4];
-  int failures = 0;
-  failures += !shape_check(a.roughness_before < base.roughness_before,
-                           "Ours-A (roughness-aware) smoother than baseline");
-  failures += !shape_check(b.roughness_after < b.roughness_before,
-                           "2pi optimization reduces Ours-B roughness");
-  failures += !shape_check(c.roughness_after < base.roughness_before,
-                           "Ours-C after 2pi smoother than baseline (paper: "
-                           "28-36% reduction)");
-  failures += !shape_check(d.roughness_after <= c.roughness_after * 1.05,
-                           "Ours-D at least as smooth as Ours-C after 2pi");
-  if (cfg.scale != Scale::Smoke) {
-    // Accuracy-ordering claims need more than the smoke scale's single
-    // epoch to be meaningful.
-    failures += !shape_check(base.accuracy - d.accuracy < 0.12,
-                             "Ours-D accuracy within a few points of baseline");
-    // Paper: Ours-B accuracy is at or above Ours-A. At this reduced scale
-    // the SLR schedule gets 2 epochs + 1 mask-frozen epoch (vs the paper's
-    // dozens), which can cost a few points on the harder glyph tasks.
-    failures += !shape_check(b.accuracy >= a.accuracy - 0.08,
-                             "sparsified model keeps accuracy vs Ours-A "
-                             "(reduced-schedule slack)");
-  } else {
-    std::printf("[check] SKIP  accuracy-ordering checks (smoke scale trains "
-                "a single epoch)\n");
+void print_table_json(const TableSpec& spec, const BenchConfig& cfg,
+                      const std::vector<TimedRow>& rows, int failures) {
+  // Same perf-record convention as bench/serve_throughput.cpp: one JSON
+  // document on stdout, suitable for diffing a trajectory across PRs.
+  std::printf("{\"bench\": %s, \"scale\": %s, \"grid\": %zu, "
+              "\"samples\": %zu, \"seed\": %llu, \"block\": %zu, "
+              "\"failures\": %d,\n \"rows\": [\n",
+              json_quote(spec.id).c_str(),
+              json_quote(scale_name(cfg.scale)).c_str(), cfg.grid,
+              cfg.samples, static_cast<unsigned long long>(cfg.seed),
+              cfg.scaled_block(spec.paper_block), failures);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    std::printf("  {\"model\": %s, \"accuracy\": %s, "
+                "\"roughness_before\": %s, \"roughness_after\": %s, "
+                "\"deployed_accuracy\": %s, "
+                "\"deployed_accuracy_after_2pi\": %s, \"sparsity\": %s, "
+                "\"seconds\": %s}%s\n",
+                json_quote(r.name).c_str(), json_number(r.accuracy).c_str(),
+                json_number(r.roughness_before).c_str(),
+                json_number(r.roughness_after).c_str(),
+                json_number(r.deployed_accuracy).c_str(),
+                json_number(r.deployed_accuracy_after_2pi).c_str(),
+                json_number(r.sparsity).c_str(),
+                json_number(rows[i].seconds).c_str(),
+                i + 1 < rows.size() ? "," : "");
   }
-  const double reduction =
-      1.0 - c.roughness_after / base.roughness_before;
-  std::printf("\nOurs-C roughness reduction vs baseline: %.1f%% "
-              "(paper reports 27-36%% across datasets)\n", 100.0 * reduction);
-  std::printf("deployment emulation: baseline %.2f%% -> %.2f%% deployed; "
-              "Ours-C %.2f%% -> %.2f%% (after 2pi)\n",
-              100.0 * base.accuracy, 100.0 * base.deployed_accuracy,
-              100.0 * c.accuracy, 100.0 * c.deployed_accuracy_after_2pi);
-  std::printf("%d shape-check failure(s)\n\n", failures);
+  std::printf("]}\n");
+}
+
+}  // namespace
+
+int run_table_bench(const TableSpec& spec, const BenchConfig& cfg,
+                    OutputFormat format) {
+  const bool text = format != OutputFormat::Json;
+  const auto opt = recipe_options(cfg, spec.paper_block);
+  const auto dataset = prepare_dataset(spec.family, cfg);
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<TimedRow> rows;
+  rows.reserve(5);
+  for (train::RecipeKind kind :
+       {train::RecipeKind::Baseline, train::RecipeKind::OursA,
+        train::RecipeKind::OursB, train::RecipeKind::OursC,
+        train::RecipeKind::OursD}) {
+    const Clock::time_point t0 = Clock::now();
+    TimedRow row;
+    row.result = train::run_recipe(kind, opt, dataset.train, dataset.test);
+    row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    rows.push_back(std::move(row));
+  }
+
+  if (text) print_table_text(spec, cfg, rows);
+  const int failures = table_shape_checks(rows, cfg, text);
+  if (text) {
+    const auto& base = rows[0].result;
+    const auto& c = rows[3].result;
+    const double reduction = 1.0 - c.roughness_after / base.roughness_before;
+    std::printf("\nOurs-C roughness reduction vs baseline: %.1f%% "
+                "(paper reports 27-36%% across datasets)\n",
+                100.0 * reduction);
+    std::printf("deployment emulation: baseline %.2f%% -> %.2f%% deployed; "
+                "Ours-C %.2f%% -> %.2f%% (after 2pi)\n",
+                100.0 * base.accuracy, 100.0 * base.deployed_accuracy,
+                100.0 * c.accuracy, 100.0 * c.deployed_accuracy_after_2pi);
+    std::printf("%d shape-check failure(s)\n\n", failures);
+  }
+  if (format != OutputFormat::Text) {
+    print_table_json(spec, cfg, rows, failures);
+  }
   return failures;
+}
+
+int run_table_bench(const TableSpec& spec, int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  cfg.strict(bench_config_keys());
+  return run_table_bench(spec, make_bench_config(cfg), parse_format(cfg));
 }
 
 }  // namespace odonn::bench

@@ -6,6 +6,8 @@
 // to the measured one. Absolute numbers are NOT expected to match (CPU-sized
 // grids, synthetic data, reduced epochs — see DESIGN.md §2); the SHAPE
 // checks printed at the end of each bench assert the qualitative claims.
+// Every table bench additionally emits a machine-readable JSON perf record
+// (same convention as serve_throughput) so later PRs can diff a trajectory.
 #pragma once
 
 #include <cstddef>
@@ -36,8 +38,15 @@ struct BenchConfig {
   std::size_t scaled_block(std::size_t paper_block) const;
 };
 
-/// Reads scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples= overrides.
+/// Reads bench.scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples=.
+BenchConfig make_bench_config(const Config& cfg);
+
+/// from_args + strict key validation (bench_config_keys) + the above.
 BenchConfig make_bench_config(int argc, char** argv);
+
+/// Keys every bench accepts (for Config::strict; benches with extra keys
+/// append their own before validating).
+std::vector<std::string> bench_config_keys();
 
 const char* scale_name(Scale scale);
 
@@ -61,18 +70,41 @@ struct PaperRow {
   double r_after;  ///< < 0 encodes the paper's "-" cell
 };
 
-/// Runs the five recipes on a dataset and prints the paper-vs-measured
-/// table plus shape checks. Returns the number of failed shape checks.
-int run_table_bench(const char* title, data::SyntheticFamily family,
-                    std::size_t paper_block,
-                    const std::vector<PaperRow>& paper, int argc, char** argv);
+/// Everything that distinguishes one paper table from another: the four
+/// near-identical table{2..5} drivers are this struct plus a main().
+struct TableSpec {
+  const char* id;     ///< JSON record name, e.g. "table2_mnist"
+  const char* title;  ///< human heading, e.g. "Table II: MNIST ..."
+  data::SyntheticFamily family;
+  std::size_t paper_block;  ///< block size on the paper's 200-grid
+  std::vector<PaperRow> paper;
+};
+
+/// The paper-table registry (Tables II-V keyed by dataset family).
+const TableSpec& table_spec(data::SyntheticFamily family);
+const std::vector<TableSpec>& all_table_specs();
+
+enum class OutputFormat { Text, Json, Both };
+
+/// Parses format=text|json|both (default both).
+OutputFormat parse_format(const Config& cfg);
+
+/// Runs the five recipes of one paper table (via the pipeline-backed
+/// train::run_recipe) and prints the paper-vs-measured table, the shape
+/// checks and/or the JSON perf record. Returns the number of failed shape
+/// checks.
+int run_table_bench(const TableSpec& spec, const BenchConfig& cfg,
+                    OutputFormat format = OutputFormat::Both);
+
+/// argv wrapper for the thin bench mains: strict-parses the config
+/// (bench_config_keys) and runs at the requested scale/format.
+int run_table_bench(const TableSpec& spec, int argc, char** argv);
 
 /// Prints "[check] PASS/FAIL description"; returns pass.
 bool shape_check(bool pass, const std::string& description);
 
-/// Minimal JSON emit helpers for machine-readable bench output (the serving
-/// throughput bench writes a JSON document so later PRs can diff a perf
-/// trajectory). Locale-independent; non-finite numbers become null.
+/// Minimal JSON emit helpers for machine-readable bench output.
+/// Locale-independent; non-finite numbers become null.
 std::string json_quote(const std::string& text);
 std::string json_number(double value);
 

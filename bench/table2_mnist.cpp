@@ -1,16 +1,11 @@
-// Reproduces Table II (MNIST): accuracy and R_overall before/after the
-// 2*pi optimization for Baseline / Ours-A..D. Paper setup: 50 epochs,
-// block size 25 (on the 200-grid), sparsity 0.1.
+// Reproduces Table II (MNIST) via the shared table registry; the paper
+// rows, title and block size live in bench_common's TableSpec for this
+// dataset family. Also reachable as `odonn_cli table dataset=mnist`.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace odonn::bench;
-  const std::vector<PaperRow> paper = {
-      {"[5,6,8]", 96.67, 466.39, 460.85}, {"Ours-A", 96.18, 416.07, -1.0},
-      {"Ours-B", 96.38, 538.78, 400.38},  {"Ours-C", 96.47, 409.41, 299.87},
-      {"Ours-D", 95.90, 375.35, 280.32}};
-  run_table_bench("Table II: MNIST (digit stand-in)",
-                  odonn::data::SyntheticFamily::Digits,
-                  /*paper_block=*/25, paper, argc, argv);
+  odonn::bench::run_table_bench(
+      odonn::bench::table_spec(odonn::data::SyntheticFamily::Digits), argc,
+      argv);
   return 0;
 }

@@ -1,14 +1,11 @@
-// Reproduces Table III (FMNIST): paper setup 150 epochs, block size 20.
+// Reproduces Table III (FMNIST) via the shared table registry (see
+// bench_common's TableSpec). Also reachable as `odonn_cli table
+// dataset=fmnist`.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace odonn::bench;
-  const std::vector<PaperRow> paper = {
-      {"[5,6,8]", 87.98, 464.78, 461.98}, {"Ours-A", 86.99, 421.49, -1.0},
-      {"Ours-B", 87.88, 488.11, 438.53},  {"Ours-C", 86.79, 350.67, 305.86},
-      {"Ours-D", 85.76, 450.73, 229.70}};
-  run_table_bench("Table III: FMNIST (fashion stand-in)",
-                  odonn::data::SyntheticFamily::Fashion,
-                  /*paper_block=*/20, paper, argc, argv);
+  odonn::bench::run_table_bench(
+      odonn::bench::table_spec(odonn::data::SyntheticFamily::Fashion), argc,
+      argv);
   return 0;
 }

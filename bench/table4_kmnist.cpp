@@ -1,14 +1,11 @@
-// Reproduces Table IV (KMNIST): paper setup 100 epochs, block size 20.
+// Reproduces Table IV (KMNIST) via the shared table registry (see
+// bench_common's TableSpec). Also reachable as `odonn_cli table
+// dataset=kmnist`.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace odonn::bench;
-  const std::vector<PaperRow> paper = {
-      {"[5,6,8]", 86.92, 460.61, 445.57}, {"Ours-A", 85.26, 462.70, -1.0},
-      {"Ours-B", 86.83, 473.08, 432.26},  {"Ours-C", 85.01, 396.84, 331.22},
-      {"Ours-D", 83.19, 327.48, 288.42}};
-  run_table_bench("Table IV: KMNIST (kana stand-in)",
-                  odonn::data::SyntheticFamily::Kana,
-                  /*paper_block=*/20, paper, argc, argv);
+  odonn::bench::run_table_bench(
+      odonn::bench::table_spec(odonn::data::SyntheticFamily::Kana), argc,
+      argv);
   return 0;
 }

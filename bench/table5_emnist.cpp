@@ -1,14 +1,11 @@
-// Reproduces Table V (EMNIST): paper setup 100 epochs, block size 20.
+// Reproduces Table V (EMNIST) via the shared table registry (see
+// bench_common's TableSpec). Also reachable as `odonn_cli table
+// dataset=emnist`.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  using namespace odonn::bench;
-  const std::vector<PaperRow> paper = {
-      {"[5,6,8]", 92.30, 463.42, 458.48}, {"Ours-A", 91.61, 435.58, -1.0},
-      {"Ours-B", 92.36, 465.85, 443.91},  {"Ours-C", 91.16, 349.61, 336.75},
-      {"Ours-D", 90.74, 312.17, 298.09}};
-  run_table_bench("Table V: EMNIST (letter stand-in)",
-                  odonn::data::SyntheticFamily::Letters,
-                  /*paper_block=*/20, paper, argc, argv);
+  odonn::bench::run_table_bench(
+      odonn::bench::table_spec(odonn::data::SyntheticFamily::Letters), argc,
+      argv);
   return 0;
 }

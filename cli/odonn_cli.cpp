@@ -1,0 +1,385 @@
+// odonn_cli — the single experiment driver over the pipeline API.
+//
+// Subcommands:
+//   run    Compose and run a stage pipeline on one synthetic dataset.
+//            odonn_cli run pipeline=train,sparsify,smooth,eval dataset=mnist
+//            odonn_cli run recipe=baseline,ours-c sweep=0.25,0.5,0.75
+//            odonn_cli run recipe=ours-d checkpoint_dir=ck resume=1
+//            odonn_cli run pipeline=train,smooth,publish publish_dir=models
+//          Replaces the old examples/train_and_smooth (recipe rows) and
+//          examples/deployment_gap (crosstalk sweep) binaries.
+//   table  Reproduce a paper table (II-V) at a bench scale.
+//            odonn_cli table dataset=mnist bench.scale=smoke format=json
+//          Same driver the bench/table*_ binaries use.
+//   serve  Load checkpoints into a ModelRegistry and push traffic through
+//          the InferenceEngine.
+//            odonn_cli serve model=models/pipeline-smoothed.odnn samples=256
+//
+// All arguments are key=value; unknown keys are rejected (Config::strict)
+// and format=text|json|both selects the output. Exit code 0 on success,
+// 1 on configuration errors.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "optics/encode.hpp"
+#include "pipeline/parser.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "train/trainer.hpp"
+
+using namespace odonn;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::string> with(std::vector<std::string> keys,
+                              std::initializer_list<const char*> extra) {
+  for (const char* key : extra) keys.emplace_back(key);
+  return keys;
+}
+
+void print_usage() {
+  std::printf(
+      "usage: odonn_cli <run|table|serve> [key=value ...]\n"
+      "  run    pipeline=train,sparsify,smooth,eval | recipe=ours-c[,...]\n"
+      "         dataset=mnist grid=48 samples=1200 epochs=3 seed=7\n"
+      "         sweep=0.25,0.5,0.75 checkpoint_dir=DIR resume=0|1\n"
+      "         publish_name=NAME publish_dir=DIR format=text|json|both\n"
+      "  table  dataset=mnist|fmnist|kmnist|emnist|all bench.scale=smoke|\n"
+      "         default|paper grid= samples= seed= format=\n"
+      "  serve  model=PATH[,PATH...] grid=32 samples=256 batch=64 seed=7\n"
+      "         format=text|json|both\n");
+}
+
+// ------------------------------------------------------------------- run
+
+struct RunJob {
+  std::string label;
+  pipeline::PipelineSpec spec;
+};
+
+int cmd_run(const Config& cfg) {
+  cfg.strict(with(pipeline::config_keys(),
+                  {"dataset", "samples", "format", "checkpoint_dir", "resume",
+                   "publish_name", "publish_dir", "sweep"}));
+  const auto format = bench::parse_format(cfg);
+  const bool print_text = format != bench::OutputFormat::Json;
+  const bool print_json = format != bench::OutputFormat::Text;
+
+  const train::RecipeOptions opt = pipeline::options_from_config(cfg);
+  const auto family = data::parse_family(cfg.get_string("dataset", "mnist"));
+  const std::size_t grid = opt.model.grid.n;
+  const std::size_t samples =
+      static_cast<std::size_t>(cfg.get_int("samples", 1200));
+
+  // One pipeline per job: an explicit pipeline= is a single job, a
+  // recipe= list is one job per recipe (the deployment-gap comparison is
+  // `recipe=baseline,ours-c sweep=...`).
+  std::vector<RunJob> jobs;
+  if (cfg.has("pipeline")) {
+    jobs.push_back({"pipeline", pipeline::spec_from_config(cfg)});
+  } else {
+    for (const std::string& name :
+         split_csv(cfg.get_string("recipe", "ours-c"))) {
+      const train::RecipeKind kind = train::parse_recipe(name);
+      pipeline::PipelineSpec spec = pipeline::spec_for_recipe(kind);
+      spec.flags.roughness = cfg.get_bool("roughness", spec.flags.roughness);
+      spec.flags.intra = cfg.get_bool("intra", spec.flags.intra);
+      jobs.push_back({train::recipe_name(kind), spec});
+    }
+  }
+
+  std::vector<double> sweep;
+  if (cfg.has("sweep")) {
+    for (const std::string& token : split_csv(cfg.get_string("sweep", ""))) {
+      char* end = nullptr;
+      const double value = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0') {
+        throw ConfigError("sweep: cannot parse '" + token + "' as double");
+      }
+      sweep.push_back(value);
+    }
+  }
+
+  const std::string checkpoint_root = cfg.get_string("checkpoint_dir", "");
+  const bool resume = cfg.get_bool("resume", false);
+  if (resume && checkpoint_root.empty()) {
+    throw ConfigError("resume=1 requires checkpoint_dir=");
+  }
+
+  if (print_text) {
+    std::printf("dataset=%s grid=%zu samples=%zu seed=%llu\n",
+                data::family_name(family), grid, samples,
+                static_cast<unsigned long long>(opt.seed));
+  }
+
+  const auto raw = data::make_synthetic(family, samples, opt.seed + 10);
+  const auto resized = data::resize_dataset(raw, grid);
+  Rng split_rng(opt.seed + 11);
+  const auto [train_set, test_set] = resized.split(0.8, split_rng);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+
+  std::string json = "{\"bench\": \"odonn_cli_run\", \"dataset\": " +
+                     bench::json_quote(data::family_name(family)) +
+                     ", \"grid\": " + std::to_string(grid) +
+                     ", \"jobs\": [\n";
+  bool first_job = true;
+
+  for (const RunJob& job : jobs) {
+    pipeline::BuildContext context;
+    context.registry = registry;
+    context.publish_name = cfg.get_string("publish_name", job.label);
+    context.publish_dir = cfg.get_string("publish_dir", "");
+    pipeline::Pipeline pipe =
+        pipeline::build_pipeline(job.spec, opt, context);
+
+    pipeline::PipelineObserver observer;
+    if (print_text) {
+      observer.on_stage_end = [&](const pipeline::StageTiming& timing) {
+        if (timing.skipped) {
+          std::printf("[stage] %-9s %-9s (resumed from checkpoint)\n",
+                      job.label.c_str(), timing.name.c_str());
+        } else {
+          std::printf("[stage] %-9s %-9s %.3fs\n", job.label.c_str(),
+                      timing.name.c_str(), timing.seconds);
+        }
+      };
+    }
+    pipe.set_observer(std::move(observer));
+
+    pipeline::ArtifactStore store;
+    store.set_data(&train_set, &test_set);
+    pipeline::RunOptions run_options;
+    if (!checkpoint_root.empty()) {
+      run_options.checkpoint_dir =
+          (std::filesystem::path(checkpoint_root) / job.label).string();
+      run_options.resume = resume;
+    }
+    const auto timings = pipe.run(store, run_options);
+
+    // Text row: metrics that exist (stage lists without eval/report simply
+    // print fewer columns).
+    if (print_text) {
+      std::printf("%-9s |", job.label.c_str());
+      for (const char* metric :
+           {pipeline::artifacts::kAccuracy,
+            pipeline::artifacts::kRoughnessBefore,
+            pipeline::artifacts::kRoughnessAfter,
+            pipeline::artifacts::kSparsity,
+            pipeline::artifacts::kDeployedAccuracy,
+            pipeline::artifacts::kDeployedAccuracyAfter2Pi}) {
+        if (store.has_metric(metric)) {
+          std::printf(" %s %.4f |", metric, store.metric(metric));
+        }
+      }
+      std::printf("\n");
+    }
+
+    // Crosstalk sweep (the old deployment_gap example): deployed accuracy
+    // of the smoothed (preferred) or trained model per strength.
+    std::string sweep_json;
+    if (!sweep.empty()) {
+      const char* which = store.has_model(pipeline::artifacts::kSmoothedModel)
+                              ? pipeline::artifacts::kSmoothedModel
+                              : pipeline::artifacts::kMainModel;
+      const donn::DonnModel& model = store.model(which);
+      if (print_text) std::printf("%-9s | sweep(%s):", job.label.c_str(), which);
+      for (const double strength : sweep) {
+        donn::CrosstalkOptions ct = opt.crosstalk;
+        ct.strength = strength;
+        const double deployed =
+            train::evaluate_deployed_accuracy(model, test_set, ct);
+        if (print_text) std::printf("  s=%.2f %.2f%%", strength, 100.0 * deployed);
+        if (!sweep_json.empty()) sweep_json += ", ";
+        sweep_json += "{\"strength\": " + bench::json_number(strength) +
+                      ", \"deployed_accuracy\": " +
+                      bench::json_number(deployed) + "}";
+      }
+      if (print_text) std::printf("\n");
+    }
+
+    if (print_json) {
+      if (!first_job) json += ",\n";
+      first_job = false;
+      json += "  {\"job\": " + bench::json_quote(job.label) + ", \"stages\": [";
+      for (std::size_t i = 0; i < timings.size(); ++i) {
+        json += (i ? ", " : "") + std::string("{\"name\": ") +
+                bench::json_quote(timings[i].name) +
+                ", \"seconds\": " + bench::json_number(timings[i].seconds) +
+                ", \"skipped\": " + (timings[i].skipped ? "true" : "false") +
+                "}";
+      }
+      json += "], \"metrics\": {";
+      bool first_metric = true;
+      for (const std::string& metric : store.metric_names()) {
+        if (!first_metric) json += ", ";
+        first_metric = false;
+        json += bench::json_quote(metric) + ": " +
+                bench::json_number(store.metric(metric));
+      }
+      json += "}";
+      if (!sweep_json.empty()) json += ", \"sweep\": [" + sweep_json + "]";
+      json += "}";
+    }
+  }
+
+  if (print_json) {
+    json += "\n]}";
+    std::printf("%s\n", json.c_str());
+  }
+  if (print_text && registry->size() > 0) {
+    std::printf("registry:");
+    for (const std::string& name : registry->names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- table
+
+int cmd_table(const Config& cfg) {
+  cfg.strict(with(bench::bench_config_keys(), {"dataset"}));
+  const bench::BenchConfig bc = bench::make_bench_config(cfg);
+  const auto format = bench::parse_format(cfg);
+  const std::string dataset = cfg.get_enum(
+      "dataset", "mnist", {"mnist", "fmnist", "kmnist", "emnist", "all"});
+  int failures = 0;
+  if (dataset == "all") {
+    for (const bench::TableSpec& spec : bench::all_table_specs()) {
+      failures += bench::run_table_bench(spec, bc, format);
+    }
+  } else {
+    failures += bench::run_table_bench(
+        bench::table_spec(data::parse_family(dataset)), bc, format);
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+// ----------------------------------------------------------------- serve
+
+int cmd_serve(const Config& cfg) {
+  cfg.strict({"model", "grid", "samples", "batch", "seed", "format"});
+  const auto format = bench::parse_format(cfg);
+  const bool print_text = format != bench::OutputFormat::Json;
+  const std::size_t samples =
+      static_cast<std::size_t>(cfg.get_int("samples", 256));
+  const std::size_t batch = static_cast<std::size_t>(cfg.get_int("batch", 64));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  if (cfg.has("model")) {
+    for (const std::string& path : split_csv(cfg.get_string("model", ""))) {
+      registry->load(std::filesystem::path(path).stem().string(), path);
+    }
+  } else {
+    // No checkpoints given: serve a fresh (untrained) scaled model so the
+    // command still demonstrates the registry -> engine path.
+    const std::size_t grid = static_cast<std::size_t>(cfg.get_int("grid", 32));
+    donn::DonnConfig config = donn::DonnConfig::scaled(grid);
+    config.init = donn::PhaseInit::Uniform;
+    Rng rng(seed);
+    registry->add("default", donn::DonnModel(config, rng));
+  }
+  const std::vector<std::string> names = registry->names();
+  ODONN_CHECK(!names.empty(), "serve: no models registered");
+  const std::size_t grid = registry->get(names.front())->config().grid.n;
+
+  // Inputs are generated per model at that model's own grid (checkpoints
+  // from different training runs may differ in size); the RNG is reseeded
+  // so every model sees the same pixel stream.
+  const auto make_inputs = [&](const optics::GridSpec& grid_spec) {
+    Rng data_rng(seed + 1);
+    std::vector<optics::Field> inputs;
+    inputs.reserve(samples);
+    for (std::size_t k = 0; k < samples; ++k) {
+      MatrixD image(grid_spec.n, grid_spec.n);
+      for (auto& v : image) v = data_rng.uniform();
+      inputs.push_back(optics::encode_image(image, grid_spec));
+    }
+    return inputs;
+  };
+
+  serve::EngineOptions options;
+  options.max_batch = batch;
+  serve::InferenceEngine engine(registry, options);
+
+  if (print_text) {
+    std::printf("=== odonn_cli serve ===\n");
+    std::printf("models=%zu grid=%zu samples=%zu batch=%zu threads=%zu\n\n",
+                names.size(), grid, samples, batch, thread_count());
+    std::printf("%-24s | %12s | %8s | %8s | %10s\n", "model", "samples/sec",
+                "p50 ms", "p99 ms", "mean batch");
+  }
+  std::string json = "{\"bench\": \"odonn_cli_serve\", \"grid\": " +
+                     std::to_string(grid) +
+                     ", \"samples\": " + std::to_string(samples) +
+                     ", \"threads\": " + std::to_string(thread_count()) +
+                     ", \"rows\": [\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto inputs = make_inputs(registry->get(name)->config().grid);
+    for (std::size_t k = 0; k < std::min<std::size_t>(16, samples); ++k) {
+      engine.submit(name, inputs[k]).get();  // warm-up
+    }
+    engine.reset_stats();
+    std::vector<std::future<serve::PredictResult>> futures;
+    futures.reserve(samples);
+    const Clock::time_point start = Clock::now();
+    for (const auto& input : inputs) futures.push_back(engine.submit(name, input));
+    for (auto& future : futures) future.get();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const auto snap = engine.stats();
+    const double throughput = static_cast<double>(samples) / elapsed;
+    if (print_text) {
+      std::printf("%-24s | %12.1f | %8.3f | %8.3f | %10.1f\n", name.c_str(),
+                  throughput, snap.p50_ms, snap.p99_ms, snap.mean_batch_size);
+    }
+    json += std::string("  {\"model\": ") + bench::json_quote(name) +
+            ", \"samples_per_sec\": " + bench::json_number(throughput) +
+            ", \"p50_ms\": " + bench::json_number(snap.p50_ms) +
+            ", \"p99_ms\": " + bench::json_number(snap.p99_ms) +
+            ", \"mean_batch\": " + bench::json_number(snap.mean_batch_size) +
+            "}" + (i + 1 < names.size() ? ",\n" : "\n");
+  }
+  json += "]}";
+  if (format != bench::OutputFormat::Text) std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Config cfg = Config::from_args(argc - 1, argv + 1);
+    if (command == "run") return cmd_run(cfg);
+    if (command == "table") return cmd_table(cfg);
+    if (command == "serve") return cmd_serve(cfg);
+    std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
+    print_usage();
+    return 1;
+  } catch (const Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

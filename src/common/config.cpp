@@ -31,7 +31,27 @@ bool parse_bool(const std::string& raw, const std::string& key) {
   throw ConfigError("key '" + key + "': cannot parse '" + raw + "' as bool");
 }
 
+std::string join_with_commas(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
 }  // namespace
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = std::min(csv.find(',', begin), csv.size());
+    out.push_back(csv.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
 
 Config Config::from_args(int argc, const char* const* argv) {
   Config cfg;
@@ -99,6 +119,26 @@ bool Config::get_bool(const std::string& key, bool dflt) const {
   const auto raw = lookup(key);
   if (!raw) return dflt;
   return parse_bool(*raw, key);
+}
+
+std::string Config::get_enum(const std::string& key, const std::string& dflt,
+                             std::initializer_list<const char*> allowed) const {
+  const std::string value = get_string(key, dflt);
+  for (const char* candidate : allowed) {
+    if (value == candidate) return value;
+  }
+  throw ConfigError(
+      "key '" + key + "': invalid value '" + value + "' (expected one of: " +
+      join_with_commas({allowed.begin(), allowed.end()}) + ")");
+}
+
+void Config::strict(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, _] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw ConfigError("unrecognized key '" + key + "' (accepted keys: " +
+                        join_with_commas(allowed) + ")");
+    }
+  }
 }
 
 std::vector<std::string> Config::keys() const {

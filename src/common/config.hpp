@@ -5,12 +5,18 @@
 // ConfigError on malformed values so bad invocations fail fast.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace odonn {
+
+/// Splits a comma-separated value into tokens (no trimming; empty tokens
+/// preserved so callers can reject them). "" yields one empty token —
+/// list-valued config keys share this one splitter.
+std::vector<std::string> split_csv(const std::string& csv);
 
 class Config {
  public:
@@ -32,6 +38,20 @@ class Config {
   long get_int(const std::string& key, long dflt) const;
   double get_double(const std::string& key, double dflt) const;
   bool get_bool(const std::string& key, bool dflt) const;
+
+  /// String getter restricted to a closed value set: the stored (or
+  /// default) value must be one of `allowed`, otherwise ConfigError lists
+  /// the alternatives. Matching is exact (values are case-sensitive).
+  std::string get_enum(const std::string& key, const std::string& dflt,
+                       std::initializer_list<const char*> allowed) const;
+
+  /// Rejects unrecognized keys: every explicitly-set key (command line /
+  /// set()) must appear in `allowed`, otherwise ConfigError names the
+  /// offending key and the accepted set — so a typo like
+  /// `epochs_dens=10` fails fast instead of being silently ignored.
+  /// Environment variables are not checked (unrelated ODONN_* vars may
+  /// exist legitimately).
+  void strict(const std::vector<std::string>& allowed) const;
 
   /// Keys present on the command line (for echoing configs in bench logs).
   std::vector<std::string> keys() const;

@@ -1,0 +1,141 @@
+#include "pipeline/artifact_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "donn/serialize.hpp"
+
+namespace odonn::pipeline {
+
+namespace fs = std::filesystem;
+
+void ArtifactStore::set_data(const data::Dataset* train,
+                             const data::Dataset* test) {
+  train_ = train;
+  test_ = test;
+}
+
+const data::Dataset& ArtifactStore::train() const {
+  ODONN_CHECK(train_ != nullptr, "artifact store: no train dataset attached");
+  return *train_;
+}
+
+const data::Dataset& ArtifactStore::test() const {
+  ODONN_CHECK(test_ != nullptr, "artifact store: no test dataset attached");
+  return *test_;
+}
+
+void ArtifactStore::put_model(const std::string& name, donn::DonnModel model) {
+  ODONN_CHECK(!name.empty(), "artifact store: model name must be non-empty");
+  models_.insert_or_assign(name, std::move(model));
+}
+
+bool ArtifactStore::has_model(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+const donn::DonnModel& ArtifactStore::model(const std::string& name) const {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    throw ConfigError("artifact store: no model '" + name + "'");
+  }
+  return it->second;
+}
+
+donn::DonnModel& ArtifactStore::mutable_model(const std::string& name) {
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    throw ConfigError("artifact store: no model '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ArtifactStore::model_names() const {
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, _] : models_) out.push_back(name);
+  return out;
+}
+
+void ArtifactStore::put_metric(const std::string& name, double value) {
+  ODONN_CHECK(!name.empty(), "artifact store: metric name must be non-empty");
+  metrics_[name] = value;
+}
+
+bool ArtifactStore::has_metric(const std::string& name) const {
+  return metrics_.count(name) > 0;
+}
+
+double ArtifactStore::metric(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    throw ConfigError("artifact store: no metric '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ArtifactStore::metric_names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, _] : metrics_) out.push_back(name);
+  return out;
+}
+
+bool ArtifactStore::has_key(const std::string& key) const {
+  const auto dot = key.find('.');
+  if (dot == std::string::npos) return false;
+  const std::string kind = key.substr(0, dot);
+  const std::string name = key.substr(dot + 1);
+  if (kind == "data") {
+    return (name == "train" && train_ != nullptr) ||
+           (name == "test" && test_ != nullptr);
+  }
+  if (kind == "model") return has_model(name);
+  if (kind == "metric") return has_metric(name);
+  return false;
+}
+
+void ArtifactStore::save_checkpoint(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create checkpoint directory " + dir + ": " +
+                  ec.message());
+  }
+  for (const auto& [name, model] : models_) {
+    donn::save_model(model, (fs::path(dir) / (name + ".odnn")).string());
+  }
+  const std::string metrics_path = (fs::path(dir) / "metrics.txt").string();
+  std::ofstream out(metrics_path);
+  if (!out) throw IoError("cannot create " + metrics_path);
+  for (const auto& [name, value] : metrics_) {
+    // %.17g round-trips IEEE doubles exactly, so resumed pipelines report
+    // bit-identical metrics.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << name << ' ' << buf << '\n';
+  }
+  if (!out) throw IoError("failed writing " + metrics_path);
+}
+
+void ArtifactStore::load_checkpoint(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw IoError("checkpoint directory not found: " + dir);
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".odnn") continue;
+    put_model(entry.path().stem().string(),
+              donn::load_model(entry.path().string()));
+  }
+  const std::string metrics_path = (fs::path(dir) / "metrics.txt").string();
+  std::ifstream in(metrics_path);
+  if (!in) throw IoError("checkpoint missing " + metrics_path);
+  std::string name;
+  double value = 0.0;
+  while (in >> name >> value) put_metric(name, value);
+  if (!in.eof()) throw IoError("malformed metrics in " + metrics_path);
+}
+
+}  // namespace odonn::pipeline

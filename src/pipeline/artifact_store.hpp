@@ -1,0 +1,65 @@
+// ArtifactStore — the blackboard that pipeline stages read from and write
+// to. Artifacts are typed and named:
+//   * datasets ("data.train" / "data.test") — non-owning views supplied by
+//     the caller before the pipeline runs;
+//   * models   ("model.<name>")             — owned DonnModel instances
+//     ("main" is the working model, "smoothed" the 2*pi-optimized copy);
+//   * metrics  ("metric.<name>")            — scalar results (accuracy,
+//     roughness_before, ...).
+// The dotted keys are what Stage::inputs()/outputs() declare and what
+// Pipeline::validate() checks; typed accessors are what stage code uses.
+//
+// Checkpointing: save_checkpoint() persists every model (donn/serialize —
+// the same container ModelRegistry::save/load use) plus a metrics text file
+// into one directory; load_checkpoint() restores them, which is how
+// Pipeline resumes mid-sequence.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "donn/model.hpp"
+
+namespace odonn::pipeline {
+
+class ArtifactStore {
+ public:
+  /// Attaches non-owning train/test datasets (must outlive the store's use).
+  void set_data(const data::Dataset* train, const data::Dataset* test);
+  bool has_data() const { return train_ != nullptr && test_ != nullptr; }
+  const data::Dataset& train() const;
+  const data::Dataset& test() const;
+
+  void put_model(const std::string& name, donn::DonnModel model);
+  bool has_model(const std::string& name) const;
+  const donn::DonnModel& model(const std::string& name) const;
+  donn::DonnModel& mutable_model(const std::string& name);
+  std::vector<std::string> model_names() const;
+
+  void put_metric(const std::string& name, double value);
+  bool has_metric(const std::string& name) const;
+  double metric(const std::string& name) const;
+  std::vector<std::string> metric_names() const;
+
+  /// Resolves a dotted artifact key ("data.train", "model.main",
+  /// "metric.accuracy") against the current contents.
+  bool has_key(const std::string& key) const;
+
+  /// Writes all models (<name>.odnn) and metrics (metrics.txt) into `dir`
+  /// (created if needed). Throws IoError on filesystem failure.
+  void save_checkpoint(const std::string& dir) const;
+
+  /// Restores models/metrics previously written by save_checkpoint,
+  /// replacing same-named artifacts. Throws IoError on malformed content.
+  void load_checkpoint(const std::string& dir);
+
+ private:
+  const data::Dataset* train_ = nullptr;
+  const data::Dataset* test_ = nullptr;
+  std::map<std::string, donn::DonnModel> models_;
+  std::map<std::string, double> metrics_;
+};
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,146 @@
+#include "pipeline/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace odonn::pipeline {
+
+StageKind parse_stage_kind(const std::string& name) {
+  std::string low(name.size(), '\0');
+  std::transform(name.begin(), name.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (low == "train") return StageKind::Train;
+  if (low == "sparsify") return StageKind::Sparsify;
+  if (low == "smooth") return StageKind::Smooth;
+  if (low == "eval" || low == "evaluate") return StageKind::Evaluate;
+  if (low == "report") return StageKind::Report;
+  if (low == "publish") return StageKind::Publish;
+  throw ConfigError(
+      "unknown pipeline stage '" + name +
+      "' (expected train, sparsify, smooth, eval, report or publish)");
+}
+
+PipelineSpec spec_for_recipe(train::RecipeKind kind) {
+  PipelineSpec spec;
+  const bool sparsify = kind == train::RecipeKind::OursB ||
+                        kind == train::RecipeKind::OursC ||
+                        kind == train::RecipeKind::OursD;
+  spec.stages.push_back(StageKind::Train);
+  if (sparsify) spec.stages.push_back(StageKind::Sparsify);
+  spec.stages.push_back(StageKind::Report);
+  spec.stages.push_back(StageKind::Smooth);
+  spec.stages.push_back(StageKind::Evaluate);
+  spec.flags.roughness = kind == train::RecipeKind::OursA ||
+                         kind == train::RecipeKind::OursC ||
+                         kind == train::RecipeKind::OursD;
+  spec.flags.intra = kind == train::RecipeKind::OursD;
+  return spec;
+}
+
+std::vector<StageKind> parse_stage_list(const std::string& csv) {
+  std::vector<StageKind> stages;
+  for (const std::string& token : split_csv(csv)) {
+    if (token.empty()) {
+      throw ConfigError("empty stage name in pipeline list '" + csv + "'");
+    }
+    stages.push_back(parse_stage_kind(token));
+  }
+  if (stages.empty()) throw ConfigError("pipeline stage list is empty");
+  return stages;
+}
+
+PipelineSpec spec_from_config(const Config& cfg) {
+  PipelineSpec spec =
+      spec_for_recipe(train::parse_recipe(cfg.get_string("recipe", "ours-c")));
+  if (cfg.has("pipeline")) {
+    spec.stages = parse_stage_list(cfg.get_string("pipeline", ""));
+  }
+  spec.flags.roughness = cfg.get_bool("roughness", spec.flags.roughness);
+  spec.flags.intra = cfg.get_bool("intra", spec.flags.intra);
+  return spec;
+}
+
+train::RecipeOptions options_from_config(const Config& cfg) {
+  train::RecipeOptions opt;
+  const std::size_t grid =
+      static_cast<std::size_t>(cfg.get_int("grid", 48));
+  opt.model = donn::DonnConfig::scaled(grid);
+  opt.model.num_layers = static_cast<std::size_t>(
+      cfg.get_int("layers", static_cast<long>(opt.model.num_layers)));
+  const std::string init = cfg.get_enum("init", "flat", {"flat", "uniform"});
+  opt.model.init =
+      init == "flat" ? donn::PhaseInit::Flat : donn::PhaseInit::Uniform;
+
+  opt.epochs_dense = static_cast<std::size_t>(cfg.get_int("epochs", 3));
+  opt.epochs_sparse = static_cast<std::size_t>(cfg.get_int(
+      "epochs_sparse",
+      static_cast<long>(std::max<std::size_t>(1, opt.epochs_dense / 2))));
+  opt.epochs_finetune =
+      static_cast<std::size_t>(cfg.get_int("epochs_finetune", 1));
+  opt.batch_size = static_cast<std::size_t>(cfg.get_int("batch", 50));
+  opt.lr_dense = cfg.get_double("lr", opt.lr_dense);
+  opt.lr_sparse = cfg.get_double("lr_sparse", opt.lr_sparse);
+  opt.roughness_p = cfg.get_double("p", opt.roughness_p);
+  opt.intra_q = cfg.get_double("q", opt.intra_q);
+  opt.scheme.ratio = cfg.get_double("sparsity", opt.scheme.ratio);
+  opt.scheme.block_size =
+      static_cast<std::size_t>(cfg.get_int("block", 5));
+  opt.two_pi.iterations = static_cast<std::size_t>(cfg.get_int(
+      "two_pi_iters", static_cast<long>(opt.two_pi.iterations)));
+  opt.crosstalk.strength =
+      cfg.get_double("crosstalk", opt.crosstalk.strength);
+  opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  opt.verbose = cfg.get_bool("verbose", false);
+  return opt;
+}
+
+std::vector<std::string> config_keys() {
+  return {"recipe",          "pipeline",  "roughness", "intra",
+          "grid",            "layers",    "init",      "epochs",
+          "epochs_sparse",   "epochs_finetune",        "batch",
+          "lr",              "lr_sparse", "p",         "q",
+          "sparsity",        "block",     "two_pi_iters",
+          "crosstalk",       "seed",      "verbose"};
+}
+
+Pipeline build_pipeline(const PipelineSpec& spec,
+                        const train::RecipeOptions& options,
+                        const BuildContext& context) {
+  ODONN_CHECK(!spec.stages.empty(), "pipeline spec has no stages");
+  Pipeline pipe;
+  for (const StageKind kind : spec.stages) {
+    switch (kind) {
+      case StageKind::Train:
+        pipe.add(std::make_unique<TrainStage>(options, spec.flags));
+        break;
+      case StageKind::Sparsify:
+        pipe.add(std::make_unique<SparsifyStage>(options, spec.flags));
+        break;
+      case StageKind::Smooth:
+        pipe.add(std::make_unique<SmoothTwoPiStage>(options));
+        break;
+      case StageKind::Evaluate:
+        pipe.add(std::make_unique<EvaluateStage>(options));
+        break;
+      case StageKind::Report:
+        pipe.add(std::make_unique<ReportStage>(options));
+        break;
+      case StageKind::Publish:
+        if (!context.registry) {
+          throw ConfigError(
+              "pipeline contains a publish stage but no model registry was "
+              "provided");
+        }
+        pipe.add(std::make_unique<PublishStage>(
+            context.registry, context.publish_name, context.publish_dir));
+        break;
+    }
+  }
+  return pipe;
+}
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,70 @@
+// Declarative pipeline construction.
+//
+// A workflow is named either by a stage list ("pipeline=train,sparsify,
+// smooth,eval,report,publish") or by one of the paper's recipe shortcuts
+// ("recipe=ours-d"); the Baseline/Ours-A..D variants are nothing but five
+// stage lists plus regularizer flags (spec_for_recipe). options_from_config
+// maps the flat key=value Config onto train::RecipeOptions, and
+// config_keys() exposes the full accepted key set for Config::strict().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stages.hpp"
+#include "train/recipe.hpp"
+
+namespace odonn::pipeline {
+
+enum class StageKind { Train, Sparsify, Smooth, Evaluate, Report, Publish };
+
+StageKind parse_stage_kind(const std::string& name);
+
+/// A fully-specified workflow: which stages, with which regularizers.
+struct PipelineSpec {
+  std::vector<StageKind> stages;
+  RegularizerFlags flags;
+};
+
+/// The paper's five variants as stage lists (§IV-B):
+///   baseline/ours-a:  train, report, smooth, eval   (flags differ)
+///   ours-b/c/d:       train, sparsify, report, smooth, eval
+PipelineSpec spec_for_recipe(train::RecipeKind kind);
+
+/// Parses a comma-separated stage list; throws ConfigError on unknown
+/// names or an empty list.
+std::vector<StageKind> parse_stage_list(const std::string& csv);
+
+/// Spec from Config: `recipe=` picks a shortcut, `pipeline=` overrides the
+/// stage list, `roughness=`/`intra=` override the regularizer flags.
+/// Defaults to recipe=ours-c's spec when neither key is present.
+PipelineSpec spec_from_config(const Config& cfg);
+
+/// RecipeOptions from flat config keys (grid=, samples-independent):
+/// epochs/epochs_sparse/epochs_finetune, batch, lr/lr_sparse, p, q,
+/// sparsity, block, layers, init=flat|uniform, crosstalk, two_pi_iters,
+/// seed, verbose.
+train::RecipeOptions options_from_config(const Config& cfg);
+
+/// Every config key understood by spec_from_config/options_from_config
+/// (for Config::strict; callers append their own driver-level keys).
+std::vector<std::string> config_keys();
+
+/// Everything build_pipeline needs beyond the spec and recipe options.
+struct BuildContext {
+  /// Required when the spec contains Publish.
+  std::shared_ptr<serve::ModelRegistry> registry;
+  std::string publish_name = "pipeline";
+  /// When non-empty, PublishStage also saves each published model here.
+  std::string publish_dir;
+};
+
+/// Instantiates the stage objects for a spec. Throws ConfigError when the
+/// spec needs a registry and the context has none.
+Pipeline build_pipeline(const PipelineSpec& spec,
+                        const train::RecipeOptions& options,
+                        const BuildContext& context = {});
+
+}  // namespace odonn::pipeline

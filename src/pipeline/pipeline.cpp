@@ -1,0 +1,129 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace odonn::pipeline {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A checkpoint directory counts as complete only once its marker exists;
+// the marker is written last, so a crash mid-save is never resumed from.
+bool checkpoint_complete(const std::string& dir) {
+  return fs::exists(fs::path(dir) / "done");
+}
+
+void write_marker(const std::string& dir) {
+  const std::string path = (fs::path(dir) / "done").string();
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create checkpoint marker " + path);
+}
+
+}  // namespace
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  ODONN_CHECK(stage != nullptr, "pipeline: stage must be non-null");
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+void Pipeline::set_observer(PipelineObserver observer) {
+  observer_ = std::move(observer);
+}
+
+void Pipeline::validate(const ArtifactStore& store) const {
+  ODONN_CHECK(!stages_.empty(), "pipeline: no stages configured");
+  std::vector<std::string> produced;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const Stage& stage = *stages_[i];
+    for (const std::string& key : stage.inputs()) {
+      const bool from_store = store.has_key(key);
+      const bool from_stage =
+          std::find(produced.begin(), produced.end(), key) != produced.end();
+      if (!from_store && !from_stage) {
+        throw ConfigError("pipeline: stage #" + std::to_string(i + 1) + " '" +
+                          stage.name() + "' needs artifact '" + key +
+                          "' which no earlier stage produces");
+      }
+    }
+    for (const std::string& key : stage.outputs()) produced.push_back(key);
+  }
+}
+
+std::string Pipeline::checkpoint_path(const std::string& dir,
+                                      std::size_t index) const {
+  return (fs::path(dir) /
+          (std::to_string(index) + "_" + stages_[index]->name()))
+      .string();
+}
+
+std::vector<StageTiming> Pipeline::run(ArtifactStore& store,
+                                       const RunOptions& options) {
+  validate(store);
+  ODONN_CHECK(!options.resume || !options.checkpoint_dir.empty(),
+              "pipeline: resume requires a checkpoint_dir");
+
+  std::vector<StageTiming> timings;
+  timings.reserve(stages_.size());
+
+  // Fast-forward past the latest complete checkpoint of this stage list.
+  std::size_t start = 0;
+  if (options.resume) {
+    for (std::size_t i = stages_.size(); i-- > 0;) {
+      const std::string dir = checkpoint_path(options.checkpoint_dir, i);
+      if (checkpoint_complete(dir)) {
+        store.load_checkpoint(dir);
+        start = i + 1;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < start; ++i) {
+    Stage& stage = *stages_[i];
+    StageTiming timing{i, stage.name(), 0.0, /*skipped=*/true};
+    if (stage.has_side_effects()) {
+      // External effects (registry publishes, artifact exports) are not
+      // captured in checkpoints: replay the stage against the restored
+      // store so a resumed run is equivalent to an uninterrupted one.
+      if (observer_.on_stage_start) observer_.on_stage_start(i, stage);
+      const Clock::time_point t0 = Clock::now();
+      stage.run(store);
+      timing.seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      timing.skipped = false;
+    }
+    if (observer_.on_stage_end) observer_.on_stage_end(timing);
+    timings.push_back(std::move(timing));
+  }
+
+  for (std::size_t i = start; i < stages_.size(); ++i) {
+    Stage& stage = *stages_[i];
+    if (observer_.on_stage_start) observer_.on_stage_start(i, stage);
+    const Clock::time_point t0 = Clock::now();
+    stage.run(store);
+    StageTiming timing{i, stage.name(),
+                       std::chrono::duration<double>(Clock::now() - t0).count(),
+                       /*skipped=*/false};
+    if (!options.checkpoint_dir.empty()) {
+      const std::string dir = checkpoint_path(options.checkpoint_dir, i);
+      // Clear any previous run's checkpoint first: its 'done' marker (and
+      // stale artifact files) must never survive into a partial overwrite.
+      std::filesystem::remove_all(dir);
+      store.save_checkpoint(dir);
+      write_marker(dir);
+    }
+    if (observer_.on_stage_end) observer_.on_stage_end(timing);
+    timings.push_back(std::move(timing));
+  }
+  return timings;
+}
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,78 @@
+// Pipeline — ordered stage execution over one ArtifactStore.
+//
+// Features on top of "call run() in a loop":
+//   * validate(): checks every stage's declared inputs are satisfiable from
+//     the store's initial contents plus earlier stages' declared outputs,
+//     before any compute runs (a bad `pipeline=` string fails in
+//     milliseconds, not after an hour of training);
+//   * observers: per-stage start/end callbacks with wall-clock timing;
+//   * checkpointing: with a checkpoint directory set, the full store is
+//     persisted after every stage (donn/serialize for models), and
+//     resume=true fast-forwards past the longest prefix of stages whose
+//     checkpoints are already on disk — except stages with external side
+//     effects (Stage::has_side_effects, e.g. publish), which are replayed
+//     against the restored store since checkpoints cannot capture them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/artifact_store.hpp"
+#include "pipeline/stage.hpp"
+
+namespace odonn::pipeline {
+
+/// Per-stage record returned by run() (and passed to observers).
+struct StageTiming {
+  std::size_t index = 0;
+  std::string name;
+  double seconds = 0.0;
+  bool skipped = false;  ///< satisfied from a checkpoint instead of running
+};
+
+struct PipelineObserver {
+  std::function<void(std::size_t index, const Stage& stage)> on_stage_start;
+  std::function<void(const StageTiming&)> on_stage_end;
+};
+
+struct RunOptions {
+  /// When non-empty, the store is checkpointed to
+  /// `<dir>/<index>_<stage name>/` after each stage completes.
+  std::string checkpoint_dir;
+  /// Resume from the latest complete checkpoint that matches this
+  /// pipeline's stage sequence (requires checkpoint_dir).
+  bool resume = false;
+};
+
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  Pipeline& add(std::unique_ptr<Stage> stage);
+
+  std::size_t size() const { return stages_.size(); }
+  const Stage& stage(std::size_t index) const { return *stages_.at(index); }
+
+  void set_observer(PipelineObserver observer);
+
+  /// Throws ConfigError naming the first stage whose declared inputs cannot
+  /// be satisfied by `store` plus the outputs of preceding stages.
+  void validate(const ArtifactStore& store) const;
+
+  /// Validates, then runs every stage in order. Returns per-stage timings
+  /// (skipped=true for checkpoint-satisfied stages).
+  std::vector<StageTiming> run(ArtifactStore& store,
+                               const RunOptions& options = {});
+
+ private:
+  std::string checkpoint_path(const std::string& dir, std::size_t index) const;
+
+  std::vector<std::unique_ptr<Stage>> stages_;
+  PipelineObserver observer_;
+};
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,55 @@
+// Pipeline-backed definitions of train::run_recipe / train::run_table.
+//
+// They live here (not in src/train/) so the dependency arrow stays
+// one-way: pipeline composes train's Trainer/options, train never depends
+// on pipeline or serve headers. The declarations remain in
+// train/recipe.hpp — callers are unaffected — and the monolithic parity
+// oracle stays in src/train/recipe.cpp.
+#include "common/log.hpp"
+#include "pipeline/parser.hpp"
+#include "train/recipe.hpp"
+
+namespace odonn::train {
+
+RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
+                        const data::Dataset& train,
+                        const data::Dataset& test) {
+  namespace pl = odonn::pipeline;
+  pl::ArtifactStore store;
+  store.set_data(&train, &test);
+  pl::Pipeline pipe = pl::build_pipeline(pl::spec_for_recipe(kind), options);
+  pipe.run(store);
+
+  RecipeResult result;
+  result.name = recipe_name(kind);
+  result.accuracy = store.metric(pl::artifacts::kAccuracy);
+  result.roughness_before = store.metric(pl::artifacts::kRoughnessBefore);
+  result.roughness_after = store.metric(pl::artifacts::kRoughnessAfter);
+  result.deployed_accuracy = store.metric(pl::artifacts::kDeployedAccuracy);
+  result.deployed_accuracy_after_2pi =
+      store.metric(pl::artifacts::kDeployedAccuracyAfter2Pi);
+  result.sparsity = store.metric(pl::artifacts::kSparsity);
+  result.trained_phases = store.model(pl::artifacts::kMainModel).phases();
+  result.smoothed_phases = store.model(pl::artifacts::kSmoothedModel).phases();
+
+  if (options.verbose) {
+    log::info() << result.name << ": acc " << result.accuracy << " R_before "
+                << result.roughness_before << " R_after "
+                << result.roughness_after;
+  }
+  return result;
+}
+
+std::vector<RecipeResult> run_table(const RecipeOptions& options,
+                                    const data::Dataset& train,
+                                    const data::Dataset& test) {
+  std::vector<RecipeResult> rows;
+  for (RecipeKind kind : {RecipeKind::Baseline, RecipeKind::OursA,
+                          RecipeKind::OursB, RecipeKind::OursC,
+                          RecipeKind::OursD}) {
+    rows.push_back(run_recipe(kind, options, train, test));
+  }
+  return rows;
+}
+
+}  // namespace odonn::train

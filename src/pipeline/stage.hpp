@@ -1,0 +1,42 @@
+// Stage — one unit of the experiment workflow (paper §III: dense training,
+// SLR sparsification, 2*pi smoothing, evaluation, reporting, publishing).
+//
+// A stage declares the artifact keys it consumes and produces (see
+// artifact_store.hpp for the dotted-key convention) so a Pipeline can
+// validate a whole sequence before any compute runs, and implements run()
+// against the shared ArtifactStore. Stages hold their own options; they
+// must not keep state across run() calls so a pipeline can be re-run on a
+// fresh store.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/artifact_store.hpp"
+
+namespace odonn::pipeline {
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Short identifier used in logs, timings and checkpoint paths.
+  virtual std::string name() const = 0;
+
+  /// Artifact keys that must exist in the store before run().
+  virtual std::vector<std::string> inputs() const { return {}; }
+
+  /// Artifact keys this stage guarantees to have produced after run().
+  /// (A stage may additionally produce optional artifacts it does not
+  /// declare, e.g. EvaluateStage's smoothed-model metrics.)
+  virtual std::vector<std::string> outputs() const { return {}; }
+
+  /// True when run() has effects outside the ArtifactStore (registry
+  /// publishes, file exports). Checkpoint resume replays such stages
+  /// instead of skipping them — their effects are not in the checkpoint.
+  virtual bool has_side_effects() const { return false; }
+
+  virtual void run(ArtifactStore& store) = 0;
+};
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,189 @@
+#include "pipeline/stages.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "roughness/report.hpp"
+#include "slr/slr.hpp"
+#include "smooth2pi/two_pi_opt.hpp"
+#include "train/trainer.hpp"
+
+namespace odonn::pipeline {
+
+namespace {
+
+// Mirrors the TrainOptions base that train::run_recipe historically built;
+// the parity test depends on this mapping staying byte-for-byte identical.
+train::TrainOptions base_train_options(const train::RecipeOptions& options,
+                                       RegularizerFlags flags) {
+  train::TrainOptions base;
+  base.batch_size = options.batch_size;
+  base.loss = options.loss;
+  base.seed = options.seed + 1;
+  base.verbose = options.verbose;
+  base.reg.roughness = options.roughness;
+  base.reg.intra = options.intra;
+  if (flags.roughness) base.reg.roughness_p = options.roughness_p;
+  if (flags.intra) base.reg.intra_q = options.intra_q;
+  return base;
+}
+
+double overall_sparsity(const donn::DonnModel& model) {
+  if (!model.has_masks()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : model.masks()) total += sparsify::sparsity_ratio(m);
+  return total / static_cast<double>(model.masks().size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Train
+
+TrainStage::TrainStage(train::RecipeOptions options, RegularizerFlags flags)
+    : options_(std::move(options)), flags_(flags) {}
+
+void TrainStage::run(ArtifactStore& store) {
+  if (!store.has_model(artifacts::kMainModel)) {
+    Rng rng(options_.seed);
+    store.put_model(artifacts::kMainModel,
+                    donn::DonnModel(options_.model, rng));
+  }
+  donn::DonnModel& model = store.mutable_model(artifacts::kMainModel);
+  train::TrainOptions dense = base_train_options(options_, flags_);
+  dense.epochs = options_.epochs_dense;
+  dense.lr = options_.lr_dense;
+  train::Trainer trainer(model, store.train(), dense);
+  trainer.run();
+}
+
+// ------------------------------------------------------------- Sparsify
+
+SparsifyStage::SparsifyStage(train::RecipeOptions options,
+                             RegularizerFlags flags)
+    : options_(std::move(options)), flags_(flags) {}
+
+void SparsifyStage::run(ArtifactStore& store) {
+  donn::DonnModel& model = store.mutable_model(artifacts::kMainModel);
+  const train::TrainOptions base = base_train_options(options_, flags_);
+
+  slr::SlrOptions slr_options = options_.slr;
+  slr_options.scheme = options_.scheme;
+  slr::SlrState slr_state(model.phases(), slr_options);
+  {
+    train::TrainOptions sparse = base;
+    sparse.epochs = options_.epochs_sparse;
+    sparse.lr = options_.lr_sparse;
+    sparse.slr = &slr_state;
+    train::Trainer trainer(model, store.train(), sparse);
+    trainer.run();
+  }
+  model.set_masks(slr_state.masks());
+  if (options_.epochs_finetune > 0) {
+    train::TrainOptions finetune = base;
+    finetune.epochs = options_.epochs_finetune;
+    finetune.lr = options_.lr_sparse;
+    train::Trainer trainer(model, store.train(), finetune);
+    trainer.run();
+  }
+}
+
+// --------------------------------------------------------------- Smooth
+
+SmoothTwoPiStage::SmoothTwoPiStage(train::RecipeOptions options)
+    : options_(std::move(options)) {}
+
+void SmoothTwoPiStage::run(ArtifactStore& store) {
+  const donn::DonnModel& model = store.model(artifacts::kMainModel);
+
+  smooth2pi::TwoPiOptions two_pi = options_.two_pi;
+  two_pi.roughness = options_.roughness;
+  two_pi.seed = options_.seed + 99;
+  const auto layer_results =
+      smooth2pi::optimize_2pi_all(model.phases(), two_pi);
+  std::vector<MatrixD> smoothed;
+  smoothed.reserve(layer_results.size());
+  double after_sum = 0.0;
+  for (const auto& lr : layer_results) {
+    smoothed.push_back(lr.optimized);
+    after_sum += lr.roughness_after;
+  }
+  store.put_metric(artifacts::kRoughnessAfter,
+                   after_sum / static_cast<double>(layer_results.size()));
+
+  donn::DonnModel smoothed_model = model;
+  smoothed_model.clear_masks();  // +2*pi pixels are no longer exact zeros
+  smoothed_model.set_phases(std::move(smoothed));
+  store.put_model(artifacts::kSmoothedModel, std::move(smoothed_model));
+}
+
+// ----------------------------------------------------------------- Eval
+
+EvaluateStage::EvaluateStage(train::RecipeOptions options)
+    : options_(std::move(options)) {}
+
+void EvaluateStage::run(ArtifactStore& store) {
+  const donn::DonnModel& model = store.model(artifacts::kMainModel);
+  store.put_metric(artifacts::kAccuracy,
+                   train::evaluate_accuracy(model, store.test()));
+  store.put_metric(artifacts::kDeployedAccuracy,
+                   train::evaluate_deployed_accuracy(model, store.test(),
+                                                     options_.crosstalk));
+  if (store.has_model(artifacts::kSmoothedModel)) {
+    store.put_metric(
+        artifacts::kDeployedAccuracyAfter2Pi,
+        train::evaluate_deployed_accuracy(
+            store.model(artifacts::kSmoothedModel), store.test(),
+            options_.crosstalk));
+  }
+}
+
+// --------------------------------------------------------------- Report
+
+ReportStage::ReportStage(train::RecipeOptions options)
+    : options_(std::move(options)) {}
+
+void ReportStage::run(ArtifactStore& store) {
+  const donn::DonnModel& model = store.model(artifacts::kMainModel);
+  const auto before = roughness::report(model.phases(), options_.roughness);
+  store.put_metric(artifacts::kRoughnessBefore, before.overall);
+  store.put_metric(artifacts::kSparsity, overall_sparsity(model));
+}
+
+// -------------------------------------------------------------- Publish
+
+PublishStage::PublishStage(std::shared_ptr<serve::ModelRegistry> registry,
+                           std::string base_name, std::string save_dir)
+    : registry_(std::move(registry)),
+      base_name_(std::move(base_name)),
+      save_dir_(std::move(save_dir)) {
+  ODONN_CHECK(registry_ != nullptr, "publish stage: registry must be set");
+  ODONN_CHECK(!base_name_.empty(),
+              "publish stage: base name must be non-empty");
+}
+
+void PublishStage::run(ArtifactStore& store) {
+  std::vector<std::string> published;
+  registry_->add(base_name_, donn::DonnModel(store.model(artifacts::kMainModel)));
+  published.push_back(base_name_);
+  if (store.has_model(artifacts::kSmoothedModel)) {
+    const std::string name = base_name_ + "-smoothed";
+    registry_->add(name,
+                   donn::DonnModel(store.model(artifacts::kSmoothedModel)));
+    published.push_back(name);
+  }
+  if (!save_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(save_dir_, ec);
+    if (ec) {
+      throw IoError("cannot create publish directory " + save_dir_ + ": " +
+                    ec.message());
+    }
+    for (const std::string& name : published) {
+      registry_->save(
+          name, (std::filesystem::path(save_dir_) / (name + ".odnn")).string());
+    }
+  }
+}
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,147 @@
+// Concrete pipeline stages for the paper's workflow. Together they
+// reproduce train::run_recipe exactly (tests/pipeline_test.cpp asserts
+// bit-for-bit parity): every stage performs the same arithmetic, in the
+// same order, with the same RNG streams as the monolithic path.
+//
+// Shared artifact names:
+//   model  "main"      — the working model (created by TrainStage)
+//   model  "smoothed"  — 2*pi-optimized copy (created by SmoothTwoPiStage)
+//   metric "accuracy", "deployed_accuracy", "deployed_accuracy_after_2pi",
+//          "roughness_before", "roughness_after", "sparsity"
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/stage.hpp"
+#include "serve/registry.hpp"
+#include "train/recipe.hpp"
+
+namespace odonn::pipeline {
+
+namespace artifacts {
+inline constexpr const char* kMainModel = "main";
+inline constexpr const char* kSmoothedModel = "smoothed";
+inline constexpr const char* kAccuracy = "accuracy";
+inline constexpr const char* kDeployedAccuracy = "deployed_accuracy";
+inline constexpr const char* kDeployedAccuracyAfter2Pi =
+    "deployed_accuracy_after_2pi";
+inline constexpr const char* kRoughnessBefore = "roughness_before";
+inline constexpr const char* kRoughnessAfter = "roughness_after";
+inline constexpr const char* kSparsity = "sparsity";
+}  // namespace artifacts
+
+/// Which of the paper's regularizers a training stage applies (the only
+/// difference between Baseline and Ours-A, and between Ours-C and Ours-D).
+struct RegularizerFlags {
+  bool roughness = false;  ///< Eq. 5 roughness term (factor p)
+  bool intra = false;      ///< Eq. 8 intra-block smoothness term (factor q)
+};
+
+/// Dense training. Creates model.main (seeded from options.seed) when the
+/// store does not already hold one — so a checkpointed model can be trained
+/// further — then runs epochs_dense at lr_dense.
+class TrainStage : public Stage {
+ public:
+  TrainStage(train::RecipeOptions options, RegularizerFlags flags);
+  std::string name() const override { return "train"; }
+  std::vector<std::string> inputs() const override { return {"data.train"}; }
+  std::vector<std::string> outputs() const override { return {"model.main"}; }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+  RegularizerFlags flags_;
+};
+
+/// SLR block-sparsity training (§III-C2): penalty-coupled training epochs,
+/// hard prune to the SLR support, then mask-frozen fine-tuning.
+class SparsifyStage : public Stage {
+ public:
+  SparsifyStage(train::RecipeOptions options, RegularizerFlags flags);
+  std::string name() const override { return "sparsify"; }
+  std::vector<std::string> inputs() const override {
+    return {"data.train", "model.main"};
+  }
+  std::vector<std::string> outputs() const override { return {"model.main"}; }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+  RegularizerFlags flags_;
+};
+
+/// 2*pi periodic roughness optimization (§III-D2). Produces model.smoothed
+/// (inference-equivalent in the ideal simulation) and metric.roughness_after.
+class SmoothTwoPiStage : public Stage {
+ public:
+  explicit SmoothTwoPiStage(train::RecipeOptions options);
+  std::string name() const override { return "smooth"; }
+  std::vector<std::string> inputs() const override { return {"model.main"}; }
+  std::vector<std::string> outputs() const override {
+    return {"model.smoothed", "metric.roughness_after"};
+  }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+};
+
+/// Clean + crosstalk-deployed test accuracy of model.main; when
+/// model.smoothed exists, also its deployed accuracy (the paper's
+/// "after 2*pi" deployment column).
+class EvaluateStage : public Stage {
+ public:
+  explicit EvaluateStage(train::RecipeOptions options);
+  std::string name() const override { return "eval"; }
+  std::vector<std::string> inputs() const override {
+    return {"data.test", "model.main"};
+  }
+  std::vector<std::string> outputs() const override {
+    return {"metric.accuracy", "metric.deployed_accuracy"};
+  }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+};
+
+/// Roughness metrics of the trained masks (R_overall before smoothing,
+/// §IV-B) and the achieved sparsity ratio.
+class ReportStage : public Stage {
+ public:
+  explicit ReportStage(train::RecipeOptions options);
+  std::string name() const override { return "report"; }
+  std::vector<std::string> inputs() const override { return {"model.main"}; }
+  std::vector<std::string> outputs() const override {
+    return {"metric.roughness_before", "metric.sparsity"};
+  }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+};
+
+/// Publishes model.main (as `<base_name>`) and, when present,
+/// model.smoothed (as `<base_name>-smoothed`) into a serve::ModelRegistry,
+/// handing training artifacts straight to the PR-1 inference engine. With a
+/// non-empty save_dir every published entry is also checkpointed to
+/// `<save_dir>/<published name>.odnn` via ModelRegistry::save, so the
+/// on-disk artifact and the served snapshot share one serialization path.
+class PublishStage : public Stage {
+ public:
+  PublishStage(std::shared_ptr<serve::ModelRegistry> registry,
+               std::string base_name, std::string save_dir = "");
+  std::string name() const override { return "publish"; }
+  std::vector<std::string> inputs() const override { return {"model.main"}; }
+  bool has_side_effects() const override { return true; }
+  void run(ArtifactStore& store) override;
+
+ private:
+  std::shared_ptr<serve::ModelRegistry> registry_;
+  std::string base_name_;
+  std::string save_dir_;
+};
+
+}  // namespace odonn::pipeline

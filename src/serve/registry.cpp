@@ -24,6 +24,13 @@ std::shared_ptr<const donn::DonnModel> ModelRegistry::load(
   return add(name, donn::load_model(path));
 }
 
+void ModelRegistry::save(const std::string& name,
+                         const std::string& path) const {
+  // Serialize outside the lock, from the immutable snapshot: a slow disk
+  // must not stall concurrent lookups.
+  donn::save_model(*get(name), path);
+}
+
 std::shared_ptr<const donn::DonnModel> ModelRegistry::find(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);

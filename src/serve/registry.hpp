@@ -33,6 +33,12 @@ class ModelRegistry {
   std::shared_ptr<const donn::DonnModel> load(const std::string& name,
                                               const std::string& path);
 
+  /// Round-trip counterpart of load(): writes the registered model `name`
+  /// to `path` as a donn/serialize checkpoint, so pipeline checkpoints and
+  /// registry loads share one on-disk format. Throws ConfigError when the
+  /// name is unknown, IoError on write failure.
+  void save(const std::string& name, const std::string& path) const;
+
   /// Snapshot for `name`, or nullptr when absent.
   std::shared_ptr<const donn::DonnModel> find(const std::string& name) const;
 

@@ -5,7 +5,6 @@
 #include <cmath>
 
 #include "common/error.hpp"
-#include "common/log.hpp"
 #include "roughness/report.hpp"
 
 namespace odonn::train {
@@ -32,6 +31,17 @@ RecipeKind parse_recipe(const std::string& name) {
   if (low == "ours-d" || low == "d") return RecipeKind::OursD;
   throw ConfigError("unknown recipe '" + name + "'");
 }
+
+// run_recipe / run_table are defined in src/pipeline/recipe_runner.cpp —
+// thin compositions over pipeline stages; the dependency arrow points
+// pipeline -> train, never the reverse.
+
+// ---------------------------------------------------------------------------
+// Parity oracle: the pre-pipeline implementation, kept verbatim. Tests
+// compare run_recipe() (stage-based) against this path bit-for-bit.
+// ---------------------------------------------------------------------------
+
+namespace reference {
 
 namespace {
 
@@ -61,9 +71,10 @@ double overall_sparsity(const donn::DonnModel& model) {
 
 }  // namespace
 
-RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
-                        const data::Dataset& train,
-                        const data::Dataset& test) {
+RecipeResult run_recipe_monolithic(RecipeKind kind,
+                                   const RecipeOptions& options,
+                                   const data::Dataset& train,
+                                   const data::Dataset& test) {
   const RecipeFlags flags = flags_for(kind);
   Rng rng(options.seed);
   donn::DonnModel model(options.model, rng);
@@ -145,24 +156,9 @@ RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
   result.deployed_accuracy_after_2pi =
       evaluate_deployed_accuracy(smoothed_model, test, options.crosstalk);
 
-  if (options.verbose) {
-    log::info() << result.name << ": acc " << result.accuracy << " R_before "
-                << result.roughness_before << " R_after "
-                << result.roughness_after;
-  }
   return result;
 }
 
-std::vector<RecipeResult> run_table(const RecipeOptions& options,
-                                    const data::Dataset& train,
-                                    const data::Dataset& test) {
-  std::vector<RecipeResult> rows;
-  for (RecipeKind kind : {RecipeKind::Baseline, RecipeKind::OursA,
-                          RecipeKind::OursB, RecipeKind::OursC,
-                          RecipeKind::OursD}) {
-    rows.push_back(run_recipe(kind, options, train, test));
-  }
-  return rows;
-}
+}  // namespace reference
 
 }  // namespace odonn::train

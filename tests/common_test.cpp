@@ -161,6 +161,42 @@ TEST(Config, ParsesBools) {
   EXPECT_FALSE(cfg.get_bool("d", true));
 }
 
+TEST(Config, StrictAcceptsKnownAndRejectsUnknownKeys) {
+  const char* argv[] = {"prog", "grid=64", "epochs=3"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_NO_THROW(cfg.strict({"grid", "epochs", "seed"}));
+  // A typo'd key must fail fast instead of being silently ignored, and the
+  // message must name both the offender and the accepted set.
+  try {
+    cfg.strict({"grid", "seed"});
+    FAIL() << "strict() accepted an unknown key";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("epochs"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("grid"), std::string::npos);
+  }
+}
+
+TEST(Config, StrictIgnoresEnvironmentOnlyKeys) {
+  // strict() validates explicitly-set keys; env-provided values for keys
+  // outside the allowed set must not fail a binary that never reads them.
+  const Config cfg;
+  EXPECT_NO_THROW(cfg.strict({"grid"}));
+}
+
+TEST(Config, GetEnumValidatesAgainstAllowedSet) {
+  const char* argv[] = {"prog", "format=json", "scale=warp"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_EQ(cfg.get_enum("format", "text", {"text", "json", "both"}), "json");
+  EXPECT_EQ(cfg.get_enum("missing", "both", {"text", "json", "both"}), "both");
+  try {
+    cfg.get_enum("scale", "default", {"smoke", "default", "paper"});
+    FAIL() << "get_enum accepted a value outside the allowed set";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("warp"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("smoke"), std::string::npos);
+  }
+}
+
 TEST(Parallel, ForCoversRangeExactlyOnce) {
   std::vector<std::atomic<int>> hits(1000);
   parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });

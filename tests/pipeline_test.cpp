@@ -1,0 +1,412 @@
+// Pipeline API tests: stage-parity with the monolithic recipe oracle
+// (bit-for-bit), declarative construction, validation, checkpoint resume,
+// and the PublishStage -> ModelRegistry -> InferenceEngine hand-off.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "pipeline/artifact_store.hpp"
+#include "pipeline/parser.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stages.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+#include "train/recipe.hpp"
+#include "train/trainer.hpp"
+
+namespace odonn::pipeline {
+namespace {
+
+struct TinySetup {
+  train::RecipeOptions options;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+TinySetup tiny_setup(std::uint64_t seed = 33) {
+  TinySetup setup;
+  setup.options.model = donn::DonnConfig::scaled(24);
+  setup.options.model.num_layers = 2;
+  setup.options.epochs_dense = 1;
+  setup.options.epochs_sparse = 1;
+  setup.options.epochs_finetune = 1;
+  setup.options.batch_size = 25;
+  setup.options.roughness_p = 0.1;
+  setup.options.intra_q = 0.03;
+  setup.options.scheme.block_size = 4;
+  setup.options.scheme.ratio = 0.1;
+  setup.options.two_pi.iterations = 400;
+  setup.options.seed = seed;
+
+  const auto full =
+      data::make_synthetic(data::SyntheticFamily::Digits, 160, seed + 1);
+  const auto resized = data::resize_dataset(full, 24);
+  Rng rng(seed + 2);
+  auto [train, test] = resized.split(0.75, rng);
+  setup.train = std::move(train);
+  setup.test = std::move(test);
+  return setup;
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void expect_bit_identical(const train::RecipeResult& lhs,
+                          const train::RecipeResult& rhs) {
+  EXPECT_EQ(lhs.name, rhs.name);
+  EXPECT_EQ(lhs.accuracy, rhs.accuracy);
+  EXPECT_EQ(lhs.roughness_before, rhs.roughness_before);
+  EXPECT_EQ(lhs.roughness_after, rhs.roughness_after);
+  EXPECT_EQ(lhs.deployed_accuracy, rhs.deployed_accuracy);
+  EXPECT_EQ(lhs.deployed_accuracy_after_2pi, rhs.deployed_accuracy_after_2pi);
+  EXPECT_EQ(lhs.sparsity, rhs.sparsity);
+  ASSERT_EQ(lhs.trained_phases.size(), rhs.trained_phases.size());
+  for (std::size_t l = 0; l < lhs.trained_phases.size(); ++l) {
+    EXPECT_EQ(max_abs_diff(lhs.trained_phases[l], rhs.trained_phases[l]), 0.0);
+    EXPECT_EQ(max_abs_diff(lhs.smoothed_phases[l], rhs.smoothed_phases[l]),
+              0.0);
+  }
+}
+
+// ------------------------------------------------------------- parity
+
+TEST(StageParity, OursDMatchesMonolithicRecipeBitForBit) {
+  // The acceptance bar for the refactor: the pipeline-built Ours-D (the
+  // recipe exercising every stage: regularized training, SLR
+  // sparsification, fine-tune, report, 2*pi smoothing, deployment eval)
+  // reproduces the pre-refactor monolithic path exactly on a fixed seed.
+  const TinySetup setup = tiny_setup();
+  const auto via_pipeline = train::run_recipe(
+      train::RecipeKind::OursD, setup.options, setup.train, setup.test);
+  const auto via_monolith = train::reference::run_recipe_monolithic(
+      train::RecipeKind::OursD, setup.options, setup.train, setup.test);
+  expect_bit_identical(via_pipeline, via_monolith);
+  EXPECT_GT(via_pipeline.sparsity, 0.0);
+}
+
+TEST(StageParity, BaselineMatchesMonolithicRecipeBitForBit) {
+  const TinySetup setup = tiny_setup(47);
+  const auto via_pipeline = train::run_recipe(
+      train::RecipeKind::Baseline, setup.options, setup.train, setup.test);
+  const auto via_monolith = train::reference::run_recipe_monolithic(
+      train::RecipeKind::Baseline, setup.options, setup.train, setup.test);
+  expect_bit_identical(via_pipeline, via_monolith);
+  EXPECT_EQ(via_pipeline.sparsity, 0.0);
+}
+
+// ------------------------------------------------------ spec / parser
+
+TEST(Parser, StageListRoundTripAndErrors) {
+  const auto stages = parse_stage_list("train,sparsify,smooth,eval");
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0], StageKind::Train);
+  EXPECT_EQ(stages[1], StageKind::Sparsify);
+  EXPECT_EQ(stages[2], StageKind::Smooth);
+  EXPECT_EQ(stages[3], StageKind::Evaluate);
+  EXPECT_EQ(parse_stage_list("report,publish"),
+            (std::vector<StageKind>{StageKind::Report, StageKind::Publish}));
+  EXPECT_THROW(parse_stage_list("train,,eval"), ConfigError);
+  EXPECT_THROW(parse_stage_list("train,frobnicate"), ConfigError);
+}
+
+TEST(Parser, RecipesAreFiveStageLists) {
+  const auto baseline = spec_for_recipe(train::RecipeKind::Baseline);
+  EXPECT_EQ(baseline.stages.size(), 4u);  // train, report, smooth, eval
+  EXPECT_FALSE(baseline.flags.roughness);
+  EXPECT_FALSE(baseline.flags.intra);
+
+  const auto ours_a = spec_for_recipe(train::RecipeKind::OursA);
+  EXPECT_EQ(ours_a.stages, baseline.stages);  // same list, flags differ
+  EXPECT_TRUE(ours_a.flags.roughness);
+
+  const auto ours_d = spec_for_recipe(train::RecipeKind::OursD);
+  EXPECT_EQ(ours_d.stages.size(), 5u);
+  EXPECT_EQ(ours_d.stages[1], StageKind::Sparsify);
+  EXPECT_TRUE(ours_d.flags.roughness);
+  EXPECT_TRUE(ours_d.flags.intra);
+}
+
+TEST(Parser, SpecFromConfigOverrides) {
+  const char* argv[] = {"prog", "recipe=ours-b", "pipeline=train,smooth",
+                        "roughness=1"};
+  const Config cfg = Config::from_args(4, argv);
+  const PipelineSpec spec = spec_from_config(cfg);
+  EXPECT_EQ(spec.stages,
+            (std::vector<StageKind>{StageKind::Train, StageKind::Smooth}));
+  EXPECT_TRUE(spec.flags.roughness);  // overridden (ours-b default: off)
+  EXPECT_FALSE(spec.flags.intra);
+}
+
+TEST(Parser, OptionsFromConfigMapsKeys) {
+  const char* argv[] = {"prog",   "grid=20",      "layers=3", "epochs=5",
+                        "p=0.25", "sparsity=0.3", "seed=11",  "init=uniform"};
+  const Config cfg = Config::from_args(8, argv);
+  cfg.strict(config_keys());
+  const train::RecipeOptions opt = options_from_config(cfg);
+  EXPECT_EQ(opt.model.grid.n, 20u);
+  EXPECT_EQ(opt.model.num_layers, 3u);
+  EXPECT_EQ(opt.model.init, donn::PhaseInit::Uniform);
+  EXPECT_EQ(opt.epochs_dense, 5u);
+  EXPECT_EQ(opt.epochs_sparse, 2u);  // derived: epochs / 2
+  EXPECT_DOUBLE_EQ(opt.roughness_p, 0.25);
+  EXPECT_DOUBLE_EQ(opt.scheme.ratio, 0.3);
+  EXPECT_EQ(opt.seed, 11u);
+}
+
+TEST(Parser, PublishWithoutRegistryIsRejected) {
+  const PipelineSpec spec{{StageKind::Train, StageKind::Publish}, {}};
+  EXPECT_THROW(build_pipeline(spec, train::RecipeOptions{}), ConfigError);
+}
+
+// ------------------------------------------------- store / validation
+
+TEST(ArtifactStoreTest, TypedAccessAndDottedKeys) {
+  ArtifactStore store;
+  EXPECT_FALSE(store.has_data());
+  EXPECT_THROW(store.train(), Error);
+  EXPECT_THROW(store.model("main"), ConfigError);
+  EXPECT_THROW(store.metric("accuracy"), ConfigError);
+
+  Rng rng(5);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  cfg.num_layers = 1;
+  store.put_model("main", donn::DonnModel(cfg, rng));
+  store.put_metric("accuracy", 0.5);
+  EXPECT_TRUE(store.has_key("model.main"));
+  EXPECT_TRUE(store.has_key("metric.accuracy"));
+  EXPECT_FALSE(store.has_key("model.smoothed"));
+  EXPECT_FALSE(store.has_key("data.train"));
+  EXPECT_FALSE(store.has_key("accuracy"));  // must be namespaced
+  EXPECT_EQ(store.metric("accuracy"), 0.5);
+  EXPECT_EQ(store.model_names(), (std::vector<std::string>{"main"}));
+}
+
+TEST(PipelineValidation, RejectsUnsatisfiedInputsBeforeRunning) {
+  const TinySetup setup = tiny_setup();
+  ArtifactStore store;
+  store.set_data(&setup.train, &setup.test);
+
+  // eval needs model.main, which nothing produces: must throw before any
+  // training happens (and name the stage + missing artifact).
+  Pipeline bad = build_pipeline({{StageKind::Evaluate}, {}}, setup.options);
+  try {
+    bad.run(store);
+    FAIL() << "validate() accepted an unsatisfiable pipeline";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("model.main"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("eval"), std::string::npos);
+  }
+
+  // The same stage is fine once an earlier stage produces the model.
+  Pipeline good = build_pipeline(
+      {{StageKind::Train, StageKind::Evaluate}, {}}, setup.options);
+  EXPECT_NO_THROW(good.validate(store));
+
+  // A store with no datasets fails train's data.train input.
+  ArtifactStore empty;
+  EXPECT_THROW(good.validate(empty), ConfigError);
+}
+
+TEST(PipelineObserverTest, ReportsStagesInOrderWithTimings) {
+  const TinySetup setup = tiny_setup();
+  ArtifactStore store;
+  store.set_data(&setup.train, &setup.test);
+  Pipeline pipe = build_pipeline(
+      {{StageKind::Train, StageKind::Report}, {}}, setup.options);
+
+  std::vector<std::string> started, ended;
+  PipelineObserver observer;
+  observer.on_stage_start = [&](std::size_t index, const Stage& stage) {
+    EXPECT_EQ(index, started.size());
+    started.push_back(stage.name());
+  };
+  observer.on_stage_end = [&](const StageTiming& timing) {
+    EXPECT_FALSE(timing.skipped);
+    EXPECT_GE(timing.seconds, 0.0);
+    ended.push_back(timing.name);
+  };
+  pipe.set_observer(std::move(observer));
+
+  const auto timings = pipe.run(store);
+  const std::vector<std::string> expected = {"train", "report"};
+  EXPECT_EQ(started, expected);
+  EXPECT_EQ(ended, expected);
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_EQ(timings[1].index, 1u);
+}
+
+// -------------------------------------------------- checkpoint resume
+
+TEST(Checkpointing, ResumeMidPipelineReproducesTheFullRun) {
+  const TinySetup setup = tiny_setup(55);
+  const PipelineSpec full_spec = spec_for_recipe(train::RecipeKind::OursA);
+  const std::string dir = temp_dir("pipeline_resume");
+
+  // Reference: the full pipeline, no checkpointing.
+  ArtifactStore reference;
+  reference.set_data(&setup.train, &setup.test);
+  build_pipeline(full_spec, setup.options).run(reference);
+
+  // Pass 1: only the training prefix, checkpointed.
+  PipelineSpec prefix = full_spec;
+  prefix.stages = {StageKind::Train};
+  ArtifactStore first;
+  first.set_data(&setup.train, &setup.test);
+  RunOptions checkpointed;
+  checkpointed.checkpoint_dir = dir;
+  build_pipeline(prefix, setup.options).run(first, checkpointed);
+
+  // Pass 2: the full pipeline resumes — train is satisfied from disk
+  // (index and stage name match), the rest runs live.
+  ArtifactStore second;
+  second.set_data(&setup.train, &setup.test);
+  Pipeline full = build_pipeline(full_spec, setup.options);
+  RunOptions resume = checkpointed;
+  resume.resume = true;
+  const auto timings = full.run(second, resume);
+  ASSERT_EQ(timings.size(), full_spec.stages.size());
+  EXPECT_TRUE(timings[0].skipped);
+  for (std::size_t i = 1; i < timings.size(); ++i) {
+    EXPECT_FALSE(timings[i].skipped) << "stage " << timings[i].name;
+  }
+
+  // The resumed run must be indistinguishable from the uninterrupted one:
+  // donn/serialize round-trips doubles bit-exactly.
+  for (const char* metric :
+       {artifacts::kAccuracy, artifacts::kRoughnessBefore,
+        artifacts::kRoughnessAfter, artifacts::kDeployedAccuracy,
+        artifacts::kDeployedAccuracyAfter2Pi, artifacts::kSparsity}) {
+    ASSERT_TRUE(second.has_metric(metric)) << metric;
+    EXPECT_EQ(second.metric(metric), reference.metric(metric)) << metric;
+  }
+  for (std::size_t l = 0; l < setup.options.model.num_layers; ++l) {
+    EXPECT_EQ(max_abs_diff(second.model(artifacts::kMainModel).phases()[l],
+                           reference.model(artifacts::kMainModel).phases()[l]),
+              0.0);
+    EXPECT_EQ(
+        max_abs_diff(second.model(artifacts::kSmoothedModel).phases()[l],
+                     reference.model(artifacts::kSmoothedModel).phases()[l]),
+        0.0);
+  }
+
+  // A full resume (checkpoints now cover every stage) skips everything.
+  ArtifactStore third;
+  third.set_data(&setup.train, &setup.test);
+  Pipeline again = build_pipeline(full_spec, setup.options);
+  const auto all_skipped = again.run(third, resume);
+  for (const auto& timing : all_skipped) EXPECT_TRUE(timing.skipped);
+  EXPECT_EQ(third.metric(artifacts::kAccuracy),
+            reference.metric(artifacts::kAccuracy));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpointing, ResumeReplaysPublishSideEffects) {
+  // Registry publishes are external side effects a checkpoint cannot
+  // capture: a resumed run must replay the publish stage into the (fresh)
+  // registry instead of skipping it.
+  const TinySetup setup = tiny_setup(71);
+  const PipelineSpec spec{
+      {StageKind::Train, StageKind::Smooth, StageKind::Publish}, {}};
+  const std::string dir = temp_dir("pipeline_publish_resume");
+  RunOptions checkpointed;
+  checkpointed.checkpoint_dir = dir;
+
+  auto first_registry = std::make_shared<serve::ModelRegistry>();
+  BuildContext first_context;
+  first_context.registry = first_registry;
+  first_context.publish_name = "m";
+  ArtifactStore first;
+  first.set_data(&setup.train, &setup.test);
+  build_pipeline(spec, setup.options, first_context).run(first, checkpointed);
+  ASSERT_EQ(first_registry->names(),
+            (std::vector<std::string>{"m", "m-smoothed"}));
+
+  // "New process": same checkpoints, empty registry.
+  auto second_registry = std::make_shared<serve::ModelRegistry>();
+  BuildContext second_context = first_context;
+  second_context.registry = second_registry;
+  ArtifactStore second;
+  second.set_data(&setup.train, &setup.test);
+  RunOptions resume = checkpointed;
+  resume.resume = true;
+  const auto timings =
+      build_pipeline(spec, setup.options, second_context).run(second, resume);
+  ASSERT_EQ(timings.size(), 3u);
+  EXPECT_TRUE(timings[0].skipped);   // train: restored from disk
+  EXPECT_TRUE(timings[1].skipped);   // smooth: restored from disk
+  EXPECT_FALSE(timings[2].skipped);  // publish: replayed
+  ASSERT_EQ(second_registry->names(),
+            (std::vector<std::string>{"m", "m-smoothed"}));
+  for (std::size_t l = 0; l < setup.options.model.num_layers; ++l) {
+    EXPECT_EQ(max_abs_diff(second_registry->get("m")->phases()[l],
+                           first_registry->get("m")->phases()[l]),
+              0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------- publish -> serve hand-off
+
+TEST(PublishHandoff, PipelineToRegistryToInferenceEngineEndToEnd) {
+  // The acceptance scenario: a declaratively-built pipeline
+  // (pipeline=train,sparsify,smooth,eval,publish — the odonn_cli run
+  // path) publishes into a ModelRegistry that an InferenceEngine serves
+  // from, with predictions matching the trained model exactly.
+  const TinySetup setup = tiny_setup(61);
+  const char* argv[] = {"prog", "pipeline=train,sparsify,smooth,eval,publish",
+                        "roughness=1", "intra=1"};
+  const Config cfg = Config::from_args(4, argv);
+  cfg.strict(config_keys());
+  const PipelineSpec spec = spec_from_config(cfg);
+  ASSERT_EQ(spec.stages.back(), StageKind::Publish);
+
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  BuildContext context;
+  context.registry = registry;
+  context.publish_name = "ours-d";
+  Pipeline pipe = build_pipeline(spec, setup.options, context);
+
+  ArtifactStore store;
+  store.set_data(&setup.train, &setup.test);
+  pipe.run(store);
+
+  ASSERT_EQ(registry->names(),
+            (std::vector<std::string>{"ours-d", "ours-d-smoothed"}));
+
+  serve::InferenceEngine engine(registry);
+  const auto published = registry->get("ours-d");
+  std::vector<std::future<serve::PredictResult>> futures;
+  const std::size_t count = std::min<std::size_t>(8, setup.test.size());
+  for (std::size_t k = 0; k < count; ++k) {
+    futures.push_back(engine.submit(
+        "ours-d", optics::encode_image(setup.test.image(k),
+                                       published->config().grid)));
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto result = futures[k].get();
+    EXPECT_EQ(result.predicted,
+              published->predict(optics::encode_image(
+                  setup.test.image(k), published->config().grid)));
+  }
+
+  // The smoothed variant is inference-equivalent in the ideal simulation
+  // (2*pi periodicity) — serving it returns the same classes.
+  const auto smoothed = registry->get("ours-d-smoothed");
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto input =
+        optics::encode_image(setup.test.image(k), smoothed->config().grid);
+    EXPECT_EQ(smoothed->predict(input), published->predict(input));
+  }
+}
+
+}  // namespace
+}  // namespace odonn::pipeline

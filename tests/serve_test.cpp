@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
@@ -299,6 +300,44 @@ TEST(Registry, SerializeRoundTripServesIdentically) {
   const auto from_disk = loaded->predict_batch(inputs);
   const auto in_memory = model.predict_batch(inputs);
   EXPECT_EQ(from_disk, in_memory);
+}
+
+TEST(Registry, SaveLoadRoundTripSharesOneCodePath) {
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  ModelRegistry registry;
+  registry.add("published", make_model(cfg, 93));
+  const std::string path = temp_path("serve_registry_save.odnn");
+  registry.save("published", path);
+  EXPECT_THROW(registry.save("absent", path), ConfigError);
+
+  ModelRegistry other;
+  const auto reloaded = other.load("reloaded", path);
+  const auto original = registry.get("published");
+  ASSERT_EQ(reloaded->num_layers(), original->num_layers());
+  for (std::size_t l = 0; l < original->num_layers(); ++l) {
+    EXPECT_EQ(max_abs_diff(reloaded->phases()[l], original->phases()[l]), 0.0);
+  }
+}
+
+TEST(Registry, TruncatedCheckpointFailsWithIoErrorAndPublishesNothing) {
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  ModelRegistry registry;
+  registry.add("published", make_model(cfg, 94));
+  const std::string path = temp_path("serve_registry_truncated.odnn");
+  registry.save("published", path);
+
+  // Chop the checkpoint mid-phase-data: load must throw IoError and must
+  // not leave a half-loaded entry behind.
+  std::error_code ec;
+  const auto full = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  std::filesystem::resize_file(path, full / 2, ec);
+  ASSERT_FALSE(ec);
+
+  ModelRegistry other;
+  EXPECT_THROW(other.load("broken", path), IoError);
+  EXPECT_EQ(other.size(), 0u);
+  EXPECT_EQ(other.find("broken"), nullptr);
 }
 
 TEST(Stats, NearestRankPercentilesAndCounters) {
