@@ -12,18 +12,28 @@
 //            odonn_cli table dataset=mnist bench.scale=smoke format=json
 //          Same driver the bench/table*_ binaries use.
 //   serve  Load checkpoints into a ModelRegistry and push traffic through
-//          the InferenceEngine.
+//          the InferenceEngine, or enumerate the registered variants.
 //            odonn_cli serve model=models/pipeline-smoothed.odnn samples=256
+//            odonn_cli serve model=a.odnn,b.odnn action=list
+//   robust Monte-Carlo fabrication-variability evaluation (src/fab): R
+//          perturbed realizations per model variant, common random numbers
+//          across variants, yield statistics.
+//            odonn_cli robust recipe=baseline,ours-c realizations=32
+//              perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=8)'
+//            odonn_cli robust model=models/ours-c-smoothed.odnn threads=4
 //
 // All arguments are key=value; unknown keys are rejected (Config::strict)
 // and format=text|json|both selects the output. Exit code 0 on success,
 // 1 on configuration errors.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -32,6 +42,9 @@
 #include "common/parallel.hpp"
 #include "data/synthetic.hpp"
 #include "data/transform.hpp"
+#include "donn/serialize.hpp"
+#include "fab/montecarlo.hpp"
+#include "fab/spec.hpp"
 #include "optics/encode.hpp"
 #include "pipeline/parser.hpp"
 #include "serve/engine.hpp"
@@ -52,15 +65,21 @@ std::vector<std::string> with(std::vector<std::string> keys,
 
 void print_usage() {
   std::printf(
-      "usage: odonn_cli <run|table|serve> [key=value ...]\n"
-      "  run    pipeline=train,sparsify,smooth,eval | recipe=ours-c[,...]\n"
+      "usage: odonn_cli <run|table|serve|robust> [key=value ...]\n"
+      "  run    pipeline=data,train,sparsify,smooth,eval | recipe=ours-c[,..]\n"
       "         dataset=mnist grid=48 samples=1200 epochs=3 seed=7\n"
-      "         sweep=0.25,0.5,0.75 checkpoint_dir=DIR resume=0|1\n"
-      "         publish_name=NAME publish_dir=DIR format=text|json|both\n"
+      "         data_dir=DIR sweep=0.25,0.5,0.75 checkpoint_dir=DIR\n"
+      "         resume=0|1 publish_name=NAME publish_dir=DIR\n"
+      "         format=text|json|both\n"
       "  table  dataset=mnist|fmnist|kmnist|emnist|all bench.scale=smoke|\n"
       "         default|paper grid= samples= seed= format=\n"
-      "  serve  model=PATH[,PATH...] grid=32 samples=256 batch=64 seed=7\n"
-      "         format=text|json|both\n");
+      "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
+      "         batch=64 seed=7 format=text|json|both\n"
+      "  robust model=PATH[,PATH...] | recipe=baseline,ours-c[,...]\n"
+      "         perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=16)"
+      "+misalign(sigma_px=0.25)'\n"
+      "         realizations=32 yield_threshold=0.5 threads=N dataset=mnist\n"
+      "         data_dir=DIR grid=32 samples=800 epochs=2 seed=7 format=\n");
 }
 
 // ------------------------------------------------------------------- run
@@ -79,10 +98,12 @@ int cmd_run(const Config& cfg) {
   const bool print_json = format != bench::OutputFormat::Text;
 
   const train::RecipeOptions opt = pipeline::options_from_config(cfg);
-  const auto family = data::parse_family(cfg.get_string("dataset", "mnist"));
+  pipeline::DatasetStageOptions data_opt =
+      pipeline::dataset_options_from_config(cfg);
+  data_opt.grid = opt.model.grid.n;  // the model grid governs the resize
+  const auto family = data_opt.family;
   const std::size_t grid = opt.model.grid.n;
-  const std::size_t samples =
-      static_cast<std::size_t>(cfg.get_int("samples", 1200));
+  const std::size_t samples = data_opt.samples;
 
   // One pipeline per job: an explicit pipeline= is a single job, a
   // recipe= list is one job per recipe (the deployment-gap comparison is
@@ -125,10 +146,20 @@ int cmd_run(const Config& cfg) {
                 static_cast<unsigned long long>(opt.seed));
   }
 
-  const auto raw = data::make_synthetic(family, samples, opt.seed + 10);
-  const auto resized = data::resize_dataset(raw, grid);
-  Rng split_rng(opt.seed + 11);
-  const auto [train_set, test_set] = resized.split(0.8, split_rng);
+  // Jobs whose stage list starts with a data stage produce their own
+  // datasets inside the store; everyone else gets the shared pre-attached
+  // pair (byte-identical arithmetic — both go through load_or_synthesize).
+  const auto job_has_data_stage = [](const RunJob& job) {
+    return std::find(job.spec.stages.begin(), job.spec.stages.end(),
+                     pipeline::StageKind::Dataset) != job.spec.stages.end();
+  };
+  data::Dataset train_set;
+  data::Dataset test_set;
+  if (!std::all_of(jobs.begin(), jobs.end(), job_has_data_stage)) {
+    auto prepared = pipeline::load_or_synthesize(data_opt);
+    train_set = std::move(prepared.first);
+    test_set = std::move(prepared.second);
+  }
 
   auto registry = std::make_shared<serve::ModelRegistry>();
 
@@ -143,6 +174,8 @@ int cmd_run(const Config& cfg) {
     context.registry = registry;
     context.publish_name = cfg.get_string("publish_name", job.label);
     context.publish_dir = cfg.get_string("publish_dir", "");
+    context.data = data_opt;
+    context.robust = pipeline::robust_options_from_config(cfg);
     pipeline::Pipeline pipe =
         pipeline::build_pipeline(job.spec, opt, context);
 
@@ -161,7 +194,7 @@ int cmd_run(const Config& cfg) {
     pipe.set_observer(std::move(observer));
 
     pipeline::ArtifactStore store;
-    store.set_data(&train_set, &test_set);
+    if (!job_has_data_stage(job)) store.set_data(&train_set, &test_set);
     pipeline::RunOptions run_options;
     if (!checkpoint_root.empty()) {
       run_options.checkpoint_dir =
@@ -180,7 +213,11 @@ int cmd_run(const Config& cfg) {
             pipeline::artifacts::kRoughnessAfter,
             pipeline::artifacts::kSparsity,
             pipeline::artifacts::kDeployedAccuracy,
-            pipeline::artifacts::kDeployedAccuracyAfter2Pi}) {
+            pipeline::artifacts::kDeployedAccuracyAfter2Pi,
+            pipeline::artifacts::kRobustMean,
+            pipeline::artifacts::kRobustYield,
+            pipeline::artifacts::kRobustSmoothedMean,
+            pipeline::artifacts::kRobustSmoothedYield}) {
         if (store.has_metric(metric)) {
           std::printf(" %s %.4f |", metric, store.metric(metric));
         }
@@ -201,7 +238,7 @@ int cmd_run(const Config& cfg) {
         donn::CrosstalkOptions ct = opt.crosstalk;
         ct.strength = strength;
         const double deployed =
-            train::evaluate_deployed_accuracy(model, test_set, ct);
+            train::evaluate_deployed_accuracy(model, store.test(), ct);
         if (print_text) std::printf("  s=%.2f %.2f%%", strength, 100.0 * deployed);
         if (!sweep_json.empty()) sweep_json += ", ";
         sweep_json += "{\"strength\": " + bench::json_number(strength) +
@@ -273,9 +310,12 @@ int cmd_table(const Config& cfg) {
 // ----------------------------------------------------------------- serve
 
 int cmd_serve(const Config& cfg) {
-  cfg.strict({"model", "grid", "samples", "batch", "seed", "format"});
+  cfg.strict({"model", "grid", "samples", "batch", "seed", "format",
+              "action"});
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
+  const std::string action =
+      cfg.get_enum("action", "bench", {"bench", "list"});
   const std::size_t samples =
       static_cast<std::size_t>(cfg.get_int("samples", 256));
   const std::size_t batch = static_cast<std::size_t>(cfg.get_int("batch", 64));
@@ -298,6 +338,33 @@ int cmd_serve(const Config& cfg) {
   const std::vector<std::string> names = registry->names();
   ODONN_CHECK(!names.empty(), "serve: no models registered");
   const std::size_t grid = registry->get(names.front())->config().grid.n;
+
+  // action=list: enumerate the registered variants (name + geometry)
+  // instead of requiring the caller to already know the names.
+  if (action == "list") {
+    if (print_text) {
+      std::printf("=== odonn_cli serve: registered models ===\n");
+      std::printf("%-24s | %6s | %6s | %8s\n", "model", "grid", "layers",
+                  "sparse");
+    }
+    std::string json = "{\"bench\": \"odonn_cli_serve_list\", \"models\": [\n";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const auto model = registry->get(names[i]);
+      if (print_text) {
+        std::printf("%-24s | %6zu | %6zu | %8s\n", names[i].c_str(),
+                    model->config().grid.n, model->num_layers(),
+                    model->has_masks() ? "yes" : "no");
+      }
+      json += "  {\"model\": " + bench::json_quote(names[i]) +
+              ", \"grid\": " + std::to_string(model->config().grid.n) +
+              ", \"layers\": " + std::to_string(model->num_layers()) +
+              ", \"sparse\": " + (model->has_masks() ? "true" : "false") +
+              "}" + (i + 1 < names.size() ? ",\n" : "\n");
+    }
+    json += "]}";
+    if (format != bench::OutputFormat::Text) std::printf("%s\n", json.c_str());
+    return 0;
+  }
 
   // Inputs are generated per model at that model's own grid (checkpoints
   // from different training runs may differ in size); the RNG is reseeded
@@ -362,6 +429,159 @@ int cmd_serve(const Config& cfg) {
   return 0;
 }
 
+// ---------------------------------------------------------------- robust
+
+int cmd_robust(const Config& cfg) {
+  cfg.strict(with(pipeline::config_keys(),
+                  {"dataset", "samples", "model", "format", "threads"}));
+  // Pin the pool size before any parallel work runs (the robust CLI
+  // exposes the thread count directly; ODONN_THREADS remains the default).
+  if (cfg.has("threads")) {
+    const long threads = cfg.get_int("threads", 0);
+    if (threads < 1 || threads > 1024) {
+      throw ConfigError("robust: threads must be in [1, 1024]");
+    }
+    set_thread_count(static_cast<std::size_t>(threads));
+  }
+  const auto format = bench::parse_format(cfg);
+  const bool print_text = format != bench::OutputFormat::Json;
+  const bool print_json = format != bench::OutputFormat::Text;
+
+  const train::RecipeOptions opt = pipeline::options_from_config(cfg);
+  pipeline::DatasetStageOptions data_opt =
+      pipeline::dataset_options_from_config(cfg);
+  const pipeline::RobustStageOptions robust_opt =
+      pipeline::robust_options_from_config(cfg);
+  const std::string perturb_spec = robust_opt.perturb.empty()
+                                       ? fab::kDefaultPerturbationSpec
+                                       : robust_opt.perturb;
+  const fab::PerturbationStack stack =
+      fab::parse_perturbation_stack(perturb_spec);
+
+  // Variants: checkpoints when model= is given, else recipe-trained models
+  // ("<recipe>" raw masks + "<recipe>-smoothed" after 2*pi optimization).
+  std::vector<std::pair<std::string, std::shared_ptr<const donn::DonnModel>>>
+      variants;
+  data::Dataset test_set;
+  if (cfg.has("model") && cfg.has("recipe")) {
+    // Fail fast instead of silently ignoring one of them (the repo-wide
+    // Config::strict contract).
+    throw ConfigError(
+        "robust: pass either model= (evaluate checkpoints) or recipe= "
+        "(train then evaluate), not both");
+  }
+  if (cfg.has("model")) {
+    for (const std::string& path : split_csv(cfg.get_string("model", ""))) {
+      variants.emplace_back(
+          std::filesystem::path(path).stem().string(),
+          std::make_shared<const donn::DonnModel>(donn::load_model(path)));
+    }
+    const std::size_t grid = variants.front().second->config().grid.n;
+    for (const auto& [name, model] : variants) {
+      if (model->config().grid.n != grid) {
+        throw ConfigError("robust: model '" + name +
+                          "' has a different grid than the first model; "
+                          "evaluate equal-grid variants together");
+      }
+    }
+    data_opt.grid = grid;
+    test_set = pipeline::load_eval_set(data_opt);
+  } else {
+    data_opt.grid = opt.model.grid.n;
+    auto prepared = pipeline::load_or_synthesize(data_opt);
+    data::Dataset train_set = std::move(prepared.first);
+    test_set = std::move(prepared.second);
+    for (const std::string& name :
+         split_csv(cfg.get_string("recipe", "baseline,ours-c"))) {
+      const train::RecipeKind kind = train::parse_recipe(name);
+      pipeline::PipelineSpec spec = pipeline::spec_for_recipe(kind);
+      // Only the model-producing stages: robust evaluation replaces the
+      // recipe's own eval/report tail.
+      std::erase_if(spec.stages, [](pipeline::StageKind stage) {
+        return stage != pipeline::StageKind::Train &&
+               stage != pipeline::StageKind::Sparsify &&
+               stage != pipeline::StageKind::Smooth;
+      });
+      pipeline::ArtifactStore store;
+      store.set_data(&train_set, &test_set);
+      pipeline::build_pipeline(spec, opt).run(store);
+      variants.emplace_back(
+          train::recipe_name(kind),
+          std::make_shared<const donn::DonnModel>(
+              store.model(pipeline::artifacts::kMainModel)));
+      variants.emplace_back(
+          std::string(train::recipe_name(kind)) + "-smoothed",
+          std::make_shared<const donn::DonnModel>(
+              store.model(pipeline::artifacts::kSmoothedModel)));
+    }
+  }
+
+  fab::MonteCarloOptions mc;
+  mc.realizations = robust_opt.realizations;
+  mc.seed = opt.seed + 1000;  // matches RobustEvalStage's stream
+  mc.yield_threshold = robust_opt.yield_threshold;
+  mc.crosstalk = opt.crosstalk;
+  const fab::MonteCarloEvaluator evaluator(test_set, mc);
+
+  std::vector<std::pair<std::string, const donn::DonnModel*>> refs;
+  refs.reserve(variants.size());
+  for (const auto& [name, model] : variants) {
+    refs.emplace_back(name, model.get());
+  }
+
+  if (print_text) {
+    std::printf("=== odonn_cli robust ===\n");
+    std::printf(
+        "grid=%zu eval_samples=%zu realizations=%zu threads=%zu seed=%llu\n",
+        test_set.image(0).rows(), test_set.size(), mc.realizations,
+        thread_count(), static_cast<unsigned long long>(mc.seed));
+    std::printf("perturb=%s\n\n", perturb_spec.c_str());
+    std::printf("%-20s | %6s | %6s | %6s | %6s | %6s | %6s | %5s\n", "model",
+                "clean", "mean", "std", "min", "p50", "p95", "yield");
+  }
+
+  const Clock::time_point start = Clock::now();
+  const auto reports = evaluator.compare(refs, stack);
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::string json =
+      "{\"bench\": \"odonn_cli_robust\", \"grid\": " +
+      std::to_string(test_set.image(0).rows()) +
+      ", \"eval_samples\": " + std::to_string(test_set.size()) +
+      ", \"realizations\": " + std::to_string(mc.realizations) +
+      ", \"threads\": " + std::to_string(thread_count()) +
+      ", \"yield_threshold\": " + bench::json_number(mc.yield_threshold) +
+      ", \"perturb\": " + bench::json_quote(perturb_spec) +
+      ", \"seconds\": " + bench::json_number(elapsed) + ", \"rows\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const fab::RobustnessReport& r = reports[i];
+    if (print_text) {
+      std::printf(
+          "%-20s | %5.2f%% | %5.2f%% | %6.4f | %5.2f%% | %5.2f%% | %5.2f%% "
+          "| %5.2f\n",
+          r.model_name.c_str(), 100.0 * r.clean_accuracy, 100.0 * r.mean,
+          r.stddev, 100.0 * r.min, 100.0 * r.p50, 100.0 * r.p95, r.yield);
+    }
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(r.digest()));
+    json += "  {\"model\": " + bench::json_quote(r.model_name) +
+            ", \"clean\": " + bench::json_number(r.clean_accuracy) +
+            ", \"mean\": " + bench::json_number(r.mean) +
+            ", \"std\": " + bench::json_number(r.stddev) +
+            ", \"min\": " + bench::json_number(r.min) +
+            ", \"p50\": " + bench::json_number(r.p50) +
+            ", \"p95\": " + bench::json_number(r.p95) +
+            ", \"yield\": " + bench::json_number(r.yield) +
+            ", \"digest\": " + bench::json_quote(digest) + "}" +
+            (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  json += "]}";
+  if (print_json) std::printf("%s\n", json.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,6 +595,7 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(cfg);
     if (command == "table") return cmd_table(cfg);
     if (command == "serve") return cmd_serve(cfg);
+    if (command == "robust") return cmd_robust(cfg);
     std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
     print_usage();
     return 1;

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, ctest — the single entry point CI and
-# humans run before merging. src/serve compiles with -Wall -Wextra -Werror
-# (set in CMakeLists.txt), so any warning in the serving subsystem fails
-# this script at the build step.
+# Tier-1 verify: configure, build, ctest, plus a smoke of the Monte-Carlo
+# robustness CLI — the single entry point CI and humans run before merging.
+# src/serve, src/pipeline and src/fab compile with -Wall -Wextra -Werror
+# (set in CMakeLists.txt), so any warning in those subsystems fails this
+# script at the build step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -10,3 +11,26 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc 2>/dev/null || echo 2)"
 cd build && ctest --output-on-failure -j"$(nproc 2>/dev/null || echo 2)"
+
+# Smoke the fabrication-variability subsystem end to end, and require the
+# Monte-Carlo report to be bitwise identical across thread counts: the
+# per-realization accuracy digests must not depend on ODONN_THREADS.
+# Capture the CLI output first so its own exit status is checked (a
+# pipeline would report only grep's), then extract digests separately.
+robust_smoke() {
+  ODONN_THREADS="$1" ./odonn_cli robust recipe=baseline grid=16 samples=120 \
+    epochs=1 layers=2 two_pi_iters=200 realizations=4 format=json ||
+    { echo "robust smoke: odonn_cli robust failed (threads=$1)" >&2; exit 1; }
+}
+out1="$(robust_smoke 1)"
+out4="$(robust_smoke 4)"
+d1="$(printf '%s\n' "$out1" | grep -o '"digest": "[0-9a-f]*"' || true)"
+d4="$(printf '%s\n' "$out4" | grep -o '"digest": "[0-9a-f]*"' || true)"
+[ -n "$d1" ] || { echo "robust smoke: no digests emitted" >&2; exit 1; }
+if [ "$d1" != "$d4" ]; then
+  echo "robust smoke: reports differ between ODONN_THREADS=1 and 4" >&2
+  echo "threads=1: $d1" >&2
+  echo "threads=4: $d4" >&2
+  exit 1
+fi
+echo "robust smoke: ODONN_THREADS=1 vs 4 digests identical"

@@ -1,0 +1,174 @@
+#include "fab/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "serve/batched_forward.hpp"
+
+namespace odonn::fab {
+
+namespace {
+
+double accuracy_of(const std::vector<std::size_t>& predictions,
+                   const data::Dataset& eval) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += predictions[i] == eval.label(i) ? 1 : 0;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+/// Batched accuracy of `model` (by value: the caller hands over the
+/// perturbed copy) via the plan-cached serve path.
+double batched_accuracy(donn::DonnModel model,
+                        const std::vector<optics::Field>& inputs,
+                        const data::Dataset& eval) {
+  const auto published =
+      std::make_shared<const donn::DonnModel>(std::move(model));
+  const serve::BatchedForward forward(published);
+  return accuracy_of(forward.predict(inputs), eval);
+}
+
+}  // namespace
+
+std::uint64_t RobustnessReport::digest() const {
+  // FNV-1a over the IEEE-754 bit patterns: any single-bit difference in any
+  // realization's accuracy changes the digest.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (bits >> shift) & 0xffULL;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  mix(clean_accuracy);
+  for (const double acc : accuracies) mix(acc);
+  return hash;
+}
+
+double yield_at(const RobustnessReport& report, double threshold) {
+  if (report.accuracies.empty()) return 0.0;
+  std::size_t pass = 0;
+  for (const double acc : report.accuracies) pass += acc >= threshold ? 1 : 0;
+  return static_cast<double>(pass) /
+         static_cast<double>(report.accuracies.size());
+}
+
+double percentile(const RobustnessReport& report, double q) {
+  if (report.accuracies.empty()) return 0.0;
+  std::vector<double> sorted = report.accuracies;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size()) + 0.999999);
+  rank = std::max<std::size_t>(1, std::min(rank, sorted.size()));
+  return sorted[rank - 1];
+}
+
+std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization) {
+  // SplitMix64 over (base ^ golden-ratio-spread counter): independent of
+  // thread assignment, collision-free over realization indices.
+  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * (realization + 1)));
+  return mixer.next();
+}
+
+MonteCarloEvaluator::MonteCarloEvaluator(const data::Dataset& eval_set,
+                                         const MonteCarloOptions& options)
+    : eval_(eval_set), options_(options) {
+  ODONN_CHECK(options_.realizations > 0,
+              "monte carlo: need at least one realization");
+  ODONN_CHECK(!eval_.empty(), "monte carlo: eval set is empty");
+}
+
+RobustnessReport MonteCarloEvaluator::evaluate(
+    const std::string& name, const donn::DonnModel& model,
+    const PerturbationStack& stack) const {
+  const optics::GridSpec grid = model.config().grid;
+  ODONN_CHECK(eval_.image(0).rows() == grid.n &&
+                  eval_.image(0).cols() == grid.n,
+              "monte carlo: eval images must match the model grid (use "
+              "data::resize_dataset)");
+
+  // Encode the eval set once and cache it: every realization of every
+  // variant shares the same input fields.
+  if (inputs_.empty() || !(inputs_grid_ == grid)) {
+    inputs_.clear();
+    inputs_.reserve(eval_.size());
+    for (std::size_t i = 0; i < eval_.size(); ++i) {
+      inputs_.push_back(
+          optics::encode_image(eval_.image(i), grid, options_.encode));
+    }
+    inputs_grid_ = grid;
+  }
+  const std::vector<optics::Field>& inputs = inputs_;
+
+  RobustnessReport report;
+  report.model_name = name;
+  report.realizations = options_.realizations;
+  report.yield_threshold = options_.yield_threshold;
+  report.clean_accuracy = batched_accuracy(model, inputs, eval_);
+
+  report.accuracies.assign(options_.realizations, 0.0);
+  // Parallel across realizations; the nested batched forward runs inline on
+  // each worker (common/parallel runs nested loops on the caller thread).
+  // Each slot is written exactly once at its realization index, so the
+  // report is bitwise independent of thread count and scheduling.
+  parallel_for(0, options_.realizations, [&](std::size_t r) {
+    Rng rng(realization_seed(options_.seed, r));
+    FabricatedDevice device{model.phases(), options_.crosstalk};
+    apply_stack(stack, device, rng);
+    if (options_.deploy_crosstalk) {
+      for (auto& phase : device.phases) {
+        phase = donn::apply_crosstalk(phase, device.crosstalk);
+      }
+    }
+    donn::DonnModel realized = model;
+    realized.clear_masks();  // perturbed surfaces are dense reliefs
+    realized.set_phases(std::move(device.phases));
+    report.accuracies[r] = batched_accuracy(std::move(realized), inputs, eval_);
+  });
+
+  double sum = 0.0;
+  report.min = report.accuracies.front();
+  report.max = report.accuracies.front();
+  for (const double acc : report.accuracies) {
+    sum += acc;
+    report.min = std::min(report.min, acc);
+    report.max = std::max(report.max, acc);
+  }
+  report.mean = sum / static_cast<double>(report.accuracies.size());
+  double var = 0.0;
+  for (const double acc : report.accuracies) {
+    var += (acc - report.mean) * (acc - report.mean);
+  }
+  report.stddev =
+      std::sqrt(var / static_cast<double>(report.accuracies.size()));
+  report.p5 = percentile(report, 0.05);
+  report.p50 = percentile(report, 0.50);
+  report.p95 = percentile(report, 0.95);
+  report.yield = yield_at(report, options_.yield_threshold);
+  return report;
+}
+
+std::vector<RobustnessReport> MonteCarloEvaluator::compare(
+    const std::vector<std::pair<std::string, const donn::DonnModel*>>&
+        variants,
+    const PerturbationStack& stack) const {
+  std::vector<RobustnessReport> reports;
+  reports.reserve(variants.size());
+  for (const auto& [name, model] : variants) {
+    ODONN_CHECK(model != nullptr, "monte carlo: null model variant");
+    // Realization seeds depend only on (options.seed, r): every variant
+    // sees the same perturbation draws — common random numbers.
+    reports.push_back(evaluate(name, *model, stack));
+  }
+  return reports;
+}
+
+}  // namespace odonn::fab

@@ -1,0 +1,116 @@
+// Parallel Monte-Carlo robustness evaluation over fabrication variability.
+//
+// The MonteCarloEvaluator fans R device realizations across the shared
+// thread pool: realization r perturbs the model's phase masks with a
+// PerturbationStack seeded from a counter-based stream (pure function of
+// (base seed, r) — results are bitwise independent of ODONN_THREADS and of
+// scheduling), optionally deploys the perturbed masks through the
+// interpixel-crosstalk emulation, and measures test accuracy with the
+// plan-cached batched forward path from src/serve. The per-realization
+// accuracies aggregate into a RobustnessReport: mean/std/min/max,
+// percentiles, and yield (the fraction of fabricated devices that clear an
+// accuracy spec) — the question "what accuracy distribution do I get across
+// many fabricated devices?" that a single deterministic deployment point
+// cannot answer.
+//
+// Common random numbers: realization seeds depend only on (seed, r), never
+// on the model, so evaluate()-ing two model variants (e.g. baseline vs
+// 2*pi-smoothed) subjects them to IDENTICAL perturbation draws; compare()
+// packages that A/B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "donn/model.hpp"
+#include "fab/perturbation.hpp"
+#include "optics/encode.hpp"
+#include "optics/grid.hpp"
+
+namespace odonn::fab {
+
+struct MonteCarloOptions {
+  std::size_t realizations = 32;
+  std::uint64_t seed = 7;
+  /// Accuracy a fabricated device must reach to count toward yield.
+  double yield_threshold = 0.5;
+  /// Deploy each realization through the interpixel-crosstalk emulation
+  /// (the nominal options below, possibly jittered by the stack).
+  bool deploy_crosstalk = true;
+  donn::CrosstalkOptions crosstalk = {};
+  optics::EncodeOptions encode = {};
+};
+
+struct RobustnessReport {
+  std::string model_name;
+  std::size_t realizations = 0;
+  double clean_accuracy = 0.0;  ///< unperturbed, crosstalk-free reference
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p5 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double yield = 0.0;  ///< fraction of realizations >= yield_threshold
+  double yield_threshold = 0.5;
+  /// Per-realization accuracies, indexed by realization id (fixed order).
+  std::vector<double> accuracies;
+
+  /// FNV-1a hash over the exact bit patterns of clean_accuracy and every
+  /// per-realization accuracy: two reports are bitwise identical iff their
+  /// digests match (scripts/check.sh compares this across ODONN_THREADS).
+  std::uint64_t digest() const;
+};
+
+/// Yield of an existing report at a different accuracy spec (reports keep
+/// the per-realization accuracies, so yield curves need no re-simulation).
+double yield_at(const RobustnessReport& report, double threshold);
+
+/// Nearest-rank percentile of the report's accuracy distribution.
+double percentile(const RobustnessReport& report, double q);
+
+/// Counter-based per-realization seed: a pure function of (base, r), so
+/// realization streams are independent of thread count and of each other.
+std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization);
+
+class MonteCarloEvaluator {
+ public:
+  /// `eval_set` images must already match the model grid (the trainer's
+  /// convention; use data::resize_dataset). The dataset must outlive the
+  /// evaluator.
+  MonteCarloEvaluator(const data::Dataset& eval_set,
+                      const MonteCarloOptions& options);
+
+  const MonteCarloOptions& options() const { return options_; }
+
+  /// Runs R realizations of `stack` against `model` (parallel across
+  /// realizations; each realization reuses the batched plan-cached forward
+  /// path across the whole eval set).
+  RobustnessReport evaluate(const std::string& name,
+                            const donn::DonnModel& model,
+                            const PerturbationStack& stack) const;
+
+  /// Evaluates several variants under common random numbers (identical
+  /// perturbation draws per realization index) — the fair yield A/B.
+  std::vector<RobustnessReport> compare(
+      const std::vector<std::pair<std::string, const donn::DonnModel*>>&
+          variants,
+      const PerturbationStack& stack) const;
+
+ private:
+  const data::Dataset& eval_;
+  MonteCarloOptions options_;
+  /// Encoded eval fields, built on first use and reused across
+  /// evaluate()/compare() calls (variant grids are required to match the
+  /// eval images anyway). Because of this cache, concurrent evaluate()
+  /// calls on ONE instance are not supported — the evaluator already owns
+  /// the realization-level parallelism.
+  mutable std::vector<optics::Field> inputs_;
+  mutable optics::GridSpec inputs_grid_{};
+};
+
+}  // namespace odonn::fab

@@ -1,0 +1,29 @@
+// Textual perturbation-stack specs, so CLI and pipeline configs can select
+// fabrication imperfections with one key=value argument:
+//
+//   perturb=roughness(sigma_um=0.05,corr=2)+quantize(levels=8)+misalign
+//
+// Grammar: stack  := model ('+' model)*
+//          model  := name [ '(' arg (',' arg)* ')' ]
+//          arg    := key '=' number
+// Names: roughness (sigma_um, corr), quantize (levels), misalign (sigma_px),
+// detune (sigma_rel), ctjitter (sigma). A name without parentheses (or with
+// empty ones) takes that model's defaults. Unknown names or keys throw
+// ConfigError — same fail-fast contract as Config::strict.
+#pragma once
+
+#include <string>
+
+#include "fab/perturbation.hpp"
+
+namespace odonn::fab {
+
+/// Parses a stack spec; throws ConfigError on syntax errors, unknown model
+/// names, unknown argument keys or unparsable numbers.
+PerturbationStack parse_perturbation_stack(const std::string& spec);
+
+/// The default deployment-variability stack used when no spec is given:
+/// correlated surface roughness + 16-level printing + slight misalignment.
+extern const char* const kDefaultPerturbationSpec;
+
+}  // namespace odonn::fab

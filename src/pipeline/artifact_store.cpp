@@ -13,8 +13,17 @@ namespace fs = std::filesystem;
 
 void ArtifactStore::set_data(const data::Dataset* train,
                              const data::Dataset* test) {
+  owned_train_.reset();
+  owned_test_.reset();
   train_ = train;
   test_ = test;
+}
+
+void ArtifactStore::put_data(data::Dataset train, data::Dataset test) {
+  owned_train_ = std::make_unique<data::Dataset>(std::move(train));
+  owned_test_ = std::make_unique<data::Dataset>(std::move(test));
+  train_ = owned_train_.get();
+  test_ = owned_test_.get();
 }
 
 const data::Dataset& ArtifactStore::train() const {

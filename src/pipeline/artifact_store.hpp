@@ -1,7 +1,8 @@
 // ArtifactStore — the blackboard that pipeline stages read from and write
 // to. Artifacts are typed and named:
-//   * datasets ("data.train" / "data.test") — non-owning views supplied by
-//     the caller before the pipeline runs;
+//   * datasets ("data.train" / "data.test") — either non-owning views
+//     supplied by the caller before the pipeline runs (set_data) or owned
+//     copies produced by a stage (put_data, e.g. DatasetStage);
 //   * models   ("model.<name>")             — owned DonnModel instances
 //     ("main" is the working model, "smoothed" the 2*pi-optimized copy);
 //   * metrics  ("metric.<name>")            — scalar results (accuracy,
@@ -16,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,7 +29,13 @@ namespace odonn::pipeline {
 class ArtifactStore {
  public:
   /// Attaches non-owning train/test datasets (must outlive the store's use).
+  /// Replaces any owned datasets installed via put_data.
   void set_data(const data::Dataset* train, const data::Dataset* test);
+
+  /// Installs OWNED train/test datasets (a DatasetStage's outputs live in
+  /// the store itself). Replaces any attached views.
+  void put_data(data::Dataset train, data::Dataset test);
+
   bool has_data() const { return train_ != nullptr && test_ != nullptr; }
   const data::Dataset& train() const;
   const data::Dataset& test() const;
@@ -56,8 +64,12 @@ class ArtifactStore {
   void load_checkpoint(const std::string& dir);
 
  private:
+  // Views point either at caller-owned datasets (set_data) or at the owned_
+  // copies below (put_data); accessors only ever read the views.
   const data::Dataset* train_ = nullptr;
   const data::Dataset* test_ = nullptr;
+  std::unique_ptr<data::Dataset> owned_train_;
+  std::unique_ptr<data::Dataset> owned_test_;
   std::map<std::string, donn::DonnModel> models_;
   std::map<std::string, double> metrics_;
 };

@@ -13,15 +13,18 @@ StageKind parse_stage_kind(const std::string& name) {
   std::transform(name.begin(), name.end(), low.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
+  if (low == "data" || low == "dataset") return StageKind::Dataset;
   if (low == "train") return StageKind::Train;
   if (low == "sparsify") return StageKind::Sparsify;
   if (low == "smooth") return StageKind::Smooth;
   if (low == "eval" || low == "evaluate") return StageKind::Evaluate;
+  if (low == "robust") return StageKind::Robust;
   if (low == "report") return StageKind::Report;
   if (low == "publish") return StageKind::Publish;
   throw ConfigError(
       "unknown pipeline stage '" + name +
-      "' (expected train, sparsify, smooth, eval, report or publish)");
+      "' (expected data, train, sparsify, smooth, eval, robust, report or "
+      "publish)");
 }
 
 PipelineSpec spec_for_recipe(train::RecipeKind kind) {
@@ -98,13 +101,37 @@ train::RecipeOptions options_from_config(const Config& cfg) {
   return opt;
 }
 
+DatasetStageOptions dataset_options_from_config(const Config& cfg) {
+  DatasetStageOptions opt;
+  opt.family = data::parse_family(cfg.get_string("dataset", "mnist"));
+  opt.data_dir = cfg.get_string("data_dir", "");
+  opt.samples = static_cast<std::size_t>(cfg.get_int("samples", 1200));
+  opt.grid = static_cast<std::size_t>(cfg.get_int("grid", 48));
+  opt.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  return opt;
+}
+
+RobustStageOptions robust_options_from_config(const Config& cfg) {
+  RobustStageOptions opt;
+  opt.perturb = cfg.get_string("perturb", "");
+  const long realizations = cfg.get_int("realizations", 16);
+  if (realizations < 1) {
+    throw ConfigError("realizations must be >= 1");
+  }
+  opt.realizations = static_cast<std::size_t>(realizations);
+  opt.yield_threshold =
+      cfg.get_double("yield_threshold", opt.yield_threshold);
+  return opt;
+}
+
 std::vector<std::string> config_keys() {
   return {"recipe",          "pipeline",  "roughness", "intra",
           "grid",            "layers",    "init",      "epochs",
           "epochs_sparse",   "epochs_finetune",        "batch",
           "lr",              "lr_sparse", "p",         "q",
           "sparsity",        "block",     "two_pi_iters",
-          "crosstalk",       "seed",      "verbose"};
+          "crosstalk",       "seed",      "verbose",   "data_dir",
+          "perturb",         "realizations",           "yield_threshold"};
 }
 
 Pipeline build_pipeline(const PipelineSpec& spec,
@@ -114,6 +141,12 @@ Pipeline build_pipeline(const PipelineSpec& spec,
   Pipeline pipe;
   for (const StageKind kind : spec.stages) {
     switch (kind) {
+      case StageKind::Dataset:
+        pipe.add(std::make_unique<DatasetStage>(context.data));
+        break;
+      case StageKind::Robust:
+        pipe.add(std::make_unique<RobustEvalStage>(options, context.robust));
+        break;
       case StageKind::Train:
         pipe.add(std::make_unique<TrainStage>(options, spec.flags));
         break;

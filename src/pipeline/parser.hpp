@@ -18,7 +18,16 @@
 
 namespace odonn::pipeline {
 
-enum class StageKind { Train, Sparsify, Smooth, Evaluate, Report, Publish };
+enum class StageKind {
+  Dataset,
+  Train,
+  Sparsify,
+  Smooth,
+  Evaluate,
+  Robust,
+  Report,
+  Publish,
+};
 
 StageKind parse_stage_kind(const std::string& name);
 
@@ -48,6 +57,15 @@ PipelineSpec spec_from_config(const Config& cfg);
 /// seed, verbose.
 train::RecipeOptions options_from_config(const Config& cfg);
 
+/// DatasetStageOptions from flat config keys: dataset= (family), data_dir=,
+/// samples=, grid=, seed= — the DatasetStage / driver data-preparation
+/// contract.
+DatasetStageOptions dataset_options_from_config(const Config& cfg);
+
+/// RobustStageOptions from flat config keys: perturb=, realizations=,
+/// yield_threshold=.
+RobustStageOptions robust_options_from_config(const Config& cfg);
+
 /// Every config key understood by spec_from_config/options_from_config
 /// (for Config::strict; callers append their own driver-level keys).
 std::vector<std::string> config_keys();
@@ -59,6 +77,10 @@ struct BuildContext {
   std::string publish_name = "pipeline";
   /// When non-empty, PublishStage also saves each published model here.
   std::string publish_dir;
+  /// Used when the spec contains a Dataset stage.
+  DatasetStageOptions data;
+  /// Used when the spec contains a Robust stage.
+  RobustStageOptions robust;
 };
 
 /// Instantiates the stage objects for a spec. Throws ConfigError when the

@@ -4,6 +4,10 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "data/idx.hpp"
+#include "data/transform.hpp"
+#include "fab/montecarlo.hpp"
+#include "fab/spec.hpp"
 #include "roughness/report.hpp"
 #include "slr/slr.hpp"
 #include "smooth2pi/two_pi_opt.hpp"
@@ -37,6 +41,55 @@ double overall_sparsity(const donn::DonnModel& model) {
 }
 
 }  // namespace
+
+// ------------------------------------------------------------------ Data
+
+namespace {
+
+data::Dataset load_idx_resized(const DatasetStageOptions& options,
+                               const char* images, const char* labels) {
+  const std::filesystem::path dir(options.data_dir);
+  return data::resize_dataset(
+      data::load_idx((dir / images).string(), (dir / labels).string()),
+      options.grid);
+}
+
+}  // namespace
+
+std::pair<data::Dataset, data::Dataset> load_or_synthesize(
+    const DatasetStageOptions& options) {
+  ODONN_CHECK(options.train_fraction > 0.0 && options.train_fraction < 1.0,
+              "dataset stage: train_fraction must be in (0, 1)");
+  if (!options.data_dir.empty()) {
+    return {load_idx_resized(options, "train-images-idx3-ubyte",
+                             "train-labels-idx1-ubyte"),
+            load_idx_resized(options, "t10k-images-idx3-ubyte",
+                             "t10k-labels-idx1-ubyte")};
+  }
+  // Same arithmetic (seed offsets, resize, split) the CLI drivers have
+  // always used, so pre-attached and stage-produced datasets are identical.
+  const auto raw = data::make_synthetic(options.family, options.samples,
+                                        options.seed + 10);
+  const auto resized = data::resize_dataset(raw, options.grid);
+  Rng split_rng(options.seed + 11);
+  return resized.split(options.train_fraction, split_rng);
+}
+
+data::Dataset load_eval_set(const DatasetStageOptions& options) {
+  if (!options.data_dir.empty()) {
+    return load_idx_resized(options, "t10k-images-idx3-ubyte",
+                            "t10k-labels-idx1-ubyte");
+  }
+  return load_or_synthesize(options).second;
+}
+
+DatasetStage::DatasetStage(DatasetStageOptions options)
+    : options_(std::move(options)) {}
+
+void DatasetStage::run(ArtifactStore& store) {
+  auto [train, test] = load_or_synthesize(options_);
+  store.put_data(std::move(train), std::move(test));
+}
 
 // ---------------------------------------------------------------- Train
 
@@ -135,6 +188,51 @@ void EvaluateStage::run(ArtifactStore& store) {
         train::evaluate_deployed_accuracy(
             store.model(artifacts::kSmoothedModel), store.test(),
             options_.crosstalk));
+  }
+}
+
+// --------------------------------------------------------------- Robust
+
+RobustEvalStage::RobustEvalStage(train::RecipeOptions options,
+                                 RobustStageOptions robust)
+    : options_(std::move(options)), robust_(std::move(robust)) {
+  ODONN_CHECK(robust_.realizations > 0,
+              "robust stage: need at least one realization");
+}
+
+void RobustEvalStage::run(ArtifactStore& store) {
+  const fab::PerturbationStack stack = fab::parse_perturbation_stack(
+      robust_.perturb.empty() ? fab::kDefaultPerturbationSpec
+                              : robust_.perturb);
+  fab::MonteCarloOptions mc;
+  mc.realizations = robust_.realizations;
+  mc.seed = options_.seed + 1000;  // own stream, apart from train/smooth
+  mc.yield_threshold = robust_.yield_threshold;
+  mc.crosstalk = options_.crosstalk;
+  const fab::MonteCarloEvaluator evaluator(store.test(), mc);
+
+  const auto put = [&store](const char* mean_key, const char* std_key,
+                            const char* min_key, const char* p50_key,
+                            const char* yield_key,
+                            const fab::RobustnessReport& report) {
+    store.put_metric(mean_key, report.mean);
+    store.put_metric(std_key, report.stddev);
+    store.put_metric(min_key, report.min);
+    store.put_metric(p50_key, report.p50);
+    store.put_metric(yield_key, report.yield);
+  };
+  // Realization seeds depend only on (mc.seed, r): main and smoothed see
+  // identical perturbation draws (common random numbers).
+  put(artifacts::kRobustMean, artifacts::kRobustStd, artifacts::kRobustMin,
+      artifacts::kRobustP50, artifacts::kRobustYield,
+      evaluator.evaluate(artifacts::kMainModel,
+                         store.model(artifacts::kMainModel), stack));
+  if (store.has_model(artifacts::kSmoothedModel)) {
+    put(artifacts::kRobustSmoothedMean, artifacts::kRobustSmoothedStd,
+        artifacts::kRobustSmoothedMin, artifacts::kRobustSmoothedP50,
+        artifacts::kRobustSmoothedYield,
+        evaluator.evaluate(artifacts::kSmoothedModel,
+                           store.model(artifacts::kSmoothedModel), stack));
   }
 }
 

@@ -12,8 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "data/synthetic.hpp"
 #include "pipeline/stage.hpp"
 #include "serve/registry.hpp"
 #include "train/recipe.hpp"
@@ -30,6 +32,19 @@ inline constexpr const char* kDeployedAccuracyAfter2Pi =
 inline constexpr const char* kRoughnessBefore = "roughness_before";
 inline constexpr const char* kRoughnessAfter = "roughness_after";
 inline constexpr const char* kSparsity = "sparsity";
+// Monte-Carlo robustness metrics (RobustEvalStage). The model.main report;
+// when model.smoothed exists a second set with the "robust_smoothed_"
+// prefix is produced.
+inline constexpr const char* kRobustMean = "robust_mean";
+inline constexpr const char* kRobustStd = "robust_std";
+inline constexpr const char* kRobustMin = "robust_min";
+inline constexpr const char* kRobustP50 = "robust_p50";
+inline constexpr const char* kRobustYield = "robust_yield";
+inline constexpr const char* kRobustSmoothedMean = "robust_smoothed_mean";
+inline constexpr const char* kRobustSmoothedStd = "robust_smoothed_std";
+inline constexpr const char* kRobustSmoothedMin = "robust_smoothed_min";
+inline constexpr const char* kRobustSmoothedP50 = "robust_smoothed_p50";
+inline constexpr const char* kRobustSmoothedYield = "robust_smoothed_yield";
 }  // namespace artifacts
 
 /// Which of the paper's regularizers a training stage applies (the only
@@ -37,6 +52,51 @@ inline constexpr const char* kSparsity = "sparsity";
 struct RegularizerFlags {
   bool roughness = false;  ///< Eq. 5 roughness term (factor p)
   bool intra = false;      ///< Eq. 8 intra-block smoothness term (factor q)
+};
+
+/// How a DatasetStage obtains its data: real IDX files (MNIST container
+/// format) from data_dir when set, else the synthetic generator — with
+/// identical downstream arithmetic (resize to the optical grid, then a
+/// deterministic shuffled split).
+struct DatasetStageOptions {
+  data::SyntheticFamily family = data::SyntheticFamily::Digits;
+  /// Directory holding train-images-idx3-ubyte / train-labels-idx1-ubyte /
+  /// t10k-images-idx3-ubyte / t10k-labels-idx1-ubyte. Empty -> synthetic.
+  std::string data_dir;
+  std::size_t samples = 1200;  ///< synthetic total (split train/test)
+  std::size_t grid = 48;       ///< optical grid side (resize target)
+  double train_fraction = 0.8;
+  std::uint64_t seed = 7;
+};
+
+/// Loads (IDX) or synthesizes the train/test datasets described by
+/// `options`. Shared by DatasetStage and the CLI drivers so the pipeline
+/// path and the pre-attached path produce byte-identical datasets.
+std::pair<data::Dataset, data::Dataset> load_or_synthesize(
+    const DatasetStageOptions& options);
+
+/// Evaluation split only: with data_dir set this reads just the t10k IDX
+/// pair (no 60k-image train load for eval-only workloads like
+/// `odonn_cli robust model=`); the synthetic fallback matches
+/// load_or_synthesize's test half exactly.
+data::Dataset load_eval_set(const DatasetStageOptions& options);
+
+/// Produces data.train / data.test (owned by the store). Replayed on
+/// checkpoint resume: datasets are deliberately not part of checkpoints
+/// (they can be gigabytes and are cheap to re-derive), so a resumed
+/// pipeline re-runs this stage to repopulate the store.
+class DatasetStage : public Stage {
+ public:
+  explicit DatasetStage(DatasetStageOptions options);
+  std::string name() const override { return "data"; }
+  std::vector<std::string> outputs() const override {
+    return {"data.train", "data.test"};
+  }
+  bool has_side_effects() const override { return true; }  // see class doc
+  void run(ArtifactStore& store) override;
+
+ private:
+  DatasetStageOptions options_;
 };
 
 /// Dense training. Creates model.main (seeded from options.seed) when the
@@ -105,6 +165,37 @@ class EvaluateStage : public Stage {
 
  private:
   train::RecipeOptions options_;
+};
+
+/// Monte-Carlo fabrication-robustness options for RobustEvalStage (the
+/// perturbation stack is kept as its textual spec so the stage stays
+/// copyable and checkpoint descriptions stay printable).
+struct RobustStageOptions {
+  std::string perturb;  ///< fab spec; empty -> fab::kDefaultPerturbationSpec
+  std::size_t realizations = 16;
+  double yield_threshold = 0.5;
+};
+
+/// Monte-Carlo robustness evaluation (src/fab): R perturbed realizations of
+/// model.main (and model.smoothed when present) against data.test, under
+/// the recipe's nominal crosstalk deployment. Produces the
+/// metric.robust_* family; metrics checkpoint via the store, so a resumed
+/// pipeline reproduces the identical report without re-simulating.
+class RobustEvalStage : public Stage {
+ public:
+  RobustEvalStage(train::RecipeOptions options, RobustStageOptions robust);
+  std::string name() const override { return "robust"; }
+  std::vector<std::string> inputs() const override {
+    return {"data.test", "model.main"};
+  }
+  std::vector<std::string> outputs() const override {
+    return {"metric.robust_mean", "metric.robust_yield"};
+  }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+  RobustStageOptions robust_;
 };
 
 /// Roughness metrics of the trained masks (R_overall before smoothing,

@@ -1,0 +1,399 @@
+// src/fab tests: perturbation statistics (roughness-field RMS and
+// correlation length), quantization exactness, per-model determinism, spec
+// parsing, and the MonteCarloEvaluator's determinism / common-random-number
+// contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "data/transform.hpp"
+#include "fab/montecarlo.hpp"
+#include "fab/perturbation.hpp"
+#include "fab/spec.hpp"
+#include "optics/fabrication.hpp"
+
+namespace odonn::fab {
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+MatrixD random_phase(std::size_t n, Rng& rng, double lo = 0.0,
+                     double hi = kTwoPi) {
+  MatrixD phase(n, n);
+  for (auto& v : phase) v = rng.uniform(lo, hi);
+  return phase;
+}
+
+double sample_rms(const MatrixD& m) {
+  double acc = 0.0;
+  for (const auto& v : m) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(m.size()));
+}
+
+// ------------------------------------------------- gaussian random field
+
+TEST(GaussianRandomField, UnitRmsExactAndSeedDeterministic) {
+  Rng rng(11);
+  const MatrixD field = gaussian_random_field(64, 64, 3.0, rng);
+  EXPECT_NEAR(sample_rms(field), 1.0, 1e-12);
+
+  Rng again(11);
+  const MatrixD replay = gaussian_random_field(64, 64, 3.0, again);
+  EXPECT_EQ(max_abs_diff(field, replay), 0.0);
+
+  Rng other(12);
+  const MatrixD different = gaussian_random_field(64, 64, 3.0, other);
+  EXPECT_GT(max_abs_diff(field, different), 0.1);
+}
+
+TEST(GaussianRandomField, CorrelationLengthMatchesSpec) {
+  // The normalized autocorrelation of the field is exp(-(d/L)^2): at lag
+  // d = L it must be close to e^-1, and far beyond L close to zero.
+  const double L = 4.0;
+  const std::size_t n = 192;
+  Rng rng(21);
+  const MatrixD field = gaussian_random_field(n, n, L, rng);
+
+  const auto autocorr_at = [&](std::size_t lag) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c + lag < n; ++c) {
+        num += field(r, c) * field(r, c + lag);
+      }
+    }
+    for (const auto& v : field) den += v * v;
+    // Scale the lagged sum to the same pair count as the variance sum.
+    return (num / static_cast<double>(n * (n - lag))) /
+           (den / static_cast<double>(n * n));
+  };
+
+  const double at_L = autocorr_at(static_cast<std::size_t>(L));
+  EXPECT_NEAR(at_L, std::exp(-1.0), 0.12);
+  EXPECT_LT(std::abs(autocorr_at(static_cast<std::size_t>(4.0 * L))), 0.15);
+}
+
+TEST(GaussianRandomField, ZeroCorrelationIsWhite) {
+  const std::size_t n = 128;
+  Rng rng(31);
+  const MatrixD field = gaussian_random_field(n, n, 0.0, rng);
+  EXPECT_NEAR(sample_rms(field), 1.0, 1e-12);
+  // Neighboring pixels essentially uncorrelated.
+  double num = 0.0, den = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c + 1 < n; ++c) num += field(r, c) * field(r, c + 1);
+  }
+  for (const auto& v : field) den += v * v;
+  EXPECT_LT(std::abs(num / den), 0.05);
+}
+
+// ------------------------------------------------------ surface roughness
+
+TEST(SurfaceRoughness, InjectedPhaseRmsMatchesThicknessSpec) {
+  SurfaceRoughnessOptions options;
+  options.sigma_um = 0.08;
+  options.correlation_px = 2.0;
+  const SurfaceRoughness model(options);
+
+  Rng rng(41);
+  FabricatedDevice device{{random_phase(48, rng)}, {}};
+  const MatrixD original = device.phases[0];
+  Rng stream(42);
+  model.apply(device, stream);
+
+  // phase <-> thickness is linear and the field has exact unit RMS, so the
+  // injected phase RMS is exactly 2*pi * sigma / zone_height.
+  const MatrixD diff = device.phases[0] - original;
+  const double expected =
+      kTwoPi * options.sigma_um * 1e-6 / options.material.zone_height();
+  EXPECT_NEAR(sample_rms(diff), expected, expected * 1e-9);
+}
+
+// ------------------------------------------------------------ quantization
+
+TEST(QuantizeLevels, ExactlyOnLevelGridAndIdempotent) {
+  const std::size_t levels = 8;
+  const QuantizeLevels model(QuantizeLevelsOptions{levels});
+  const double step = kTwoPi / static_cast<double>(levels);
+
+  Rng rng(51);
+  // Multi-zone relief (the 2*pi optimizer's output shape): [-2*pi, 4*pi).
+  FabricatedDevice device{{random_phase(32, rng, -kTwoPi, 2.0 * kTwoPi)}, {}};
+  Rng unused(0);
+  model.apply(device, unused);
+
+  for (const auto& v : device.phases[0]) {
+    const double k = v / step;
+    EXPECT_NEAR(k, std::round(k), 1e-9) << "value off the level grid: " << v;
+  }
+  // Wrapped into one zone, at most `levels` distinct values survive.
+  std::set<long> wrapped;
+  for (const auto& v : device.phases[0]) {
+    long k = std::lround(v / step) % static_cast<long>(levels);
+    if (k < 0) k += static_cast<long>(levels);
+    wrapped.insert(k);
+  }
+  EXPECT_LE(wrapped.size(), levels);
+
+  FabricatedDevice twice = device;
+  model.apply(twice, unused);
+  EXPECT_EQ(max_abs_diff(device.phases[0], twice.phases[0]), 0.0);
+}
+
+TEST(QuantizeLevels, PreservesFullTwoPiZones) {
+  // Printing resolution must not wrap away the smoother's +2*pi zones:
+  // quantize(phi + 2*pi) == quantize(phi) + 2*pi.
+  const QuantizeLevels model(QuantizeLevelsOptions{16});
+  Rng rng(61);
+  FabricatedDevice base{{random_phase(16, rng)}, {}};
+  FabricatedDevice lifted = base;
+  lifted.phases[0].transform([](double v) { return v + kTwoPi; });
+
+  Rng unused(0);
+  model.apply(base, unused);
+  model.apply(lifted, unused);
+  MatrixD shifted_back = lifted.phases[0];
+  shifted_back.transform([](double v) { return v - kTwoPi; });
+  EXPECT_LT(max_abs_diff(base.phases[0], shifted_back), 1e-9);
+}
+
+// ------------------------------------------------------------ misalignment
+
+TEST(LateralMisalignment, ZeroSigmaIsIdentityAndDrawsAreConsumed) {
+  Rng rng(71);
+  const MatrixD original = random_phase(24, rng);
+
+  const LateralMisalignment none(MisalignmentOptions{0.0});
+  FabricatedDevice device{{original}, {}};
+  Rng stream_a(5);
+  none.apply(device, stream_a);
+  EXPECT_EQ(max_abs_diff(device.phases[0], original), 0.0);
+  // Draws happen even at sigma 0 (fixed stream layout): the stream advanced.
+  Rng stream_b(5);
+  EXPECT_NE(stream_a.next_u64(), stream_b.next_u64());
+
+  const LateralMisalignment some(MisalignmentOptions{0.4});
+  FabricatedDevice shifted{{original}, {}};
+  Rng stream_c(5);
+  some.apply(shifted, stream_c);
+  EXPECT_GT(max_abs_diff(shifted.phases[0], original), 0.0);
+}
+
+TEST(LateralMisalignment, PerLayerIndependentShifts) {
+  Rng rng(81);
+  const MatrixD original = random_phase(24, rng);
+  const LateralMisalignment model(MisalignmentOptions{0.5});
+  FabricatedDevice device{{original, original}, {}};
+  Rng stream(9);
+  model.apply(device, stream);
+  // Same input mask, different per-layer draws -> different outputs.
+  EXPECT_GT(max_abs_diff(device.phases[0], device.phases[1]), 0.0);
+}
+
+// ----------------------------------------------------------------- detune
+
+TEST(WavelengthDetune, UniformPhaseRescaleAcrossLayers) {
+  WavelengthDetuneOptions options;
+  options.sigma_rel = 0.01;
+  const WavelengthDetune model(options);
+
+  Rng rng(91);
+  FabricatedDevice device{{random_phase(16, rng, 0.5, kTwoPi),
+                           random_phase(16, rng, 0.5, kTwoPi)},
+                          {}};
+  const std::vector<MatrixD> original = device.phases;
+  Rng stream(13);
+  model.apply(device, stream);
+
+  // One laser: every pixel of every layer rescales by the same factor.
+  const double factor = device.phases[0][0] / original[0][0];
+  EXPECT_NE(factor, 1.0);
+  for (std::size_t l = 0; l < 2; ++l) {
+    for (std::size_t i = 0; i < original[l].size(); ++i) {
+      EXPECT_NEAR(device.phases[l][i] / original[l][i], factor, 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------------- ctjitter
+
+TEST(CrosstalkJitter, ClampsStrengthToUnitInterval) {
+  const CrosstalkJitter model(CrosstalkJitterOptions{10.0});  // huge spread
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    FabricatedDevice device{{}, {}};
+    device.crosstalk.strength = 0.5;
+    Rng stream(seed);
+    model.apply(device, stream);
+    EXPECT_GE(device.crosstalk.strength, 0.0);
+    EXPECT_LE(device.crosstalk.strength, 1.0);
+  }
+}
+
+// ------------------------------------------------------------ spec parser
+
+TEST(SpecParser, ParsesNamesArgsAndDefaults) {
+  const auto stack = parse_perturbation_stack(
+      "roughness(sigma_um=0.1,corr=3.5)+quantize(levels=8)+misalign+detune("
+      "sigma_rel=0.01)+ctjitter");
+  ASSERT_EQ(stack.size(), 5u);
+  EXPECT_EQ(stack[0]->name(), "roughness");
+  const auto& rough = dynamic_cast<const SurfaceRoughness&>(*stack[0]);
+  EXPECT_DOUBLE_EQ(rough.options().sigma_um, 0.1);
+  EXPECT_DOUBLE_EQ(rough.options().correlation_px, 3.5);
+  const auto& quant = dynamic_cast<const QuantizeLevels&>(*stack[1]);
+  EXPECT_EQ(quant.options().levels, 8u);
+  const auto& mis = dynamic_cast<const LateralMisalignment&>(*stack[2]);
+  EXPECT_DOUBLE_EQ(mis.options().sigma_px, MisalignmentOptions{}.sigma_px);
+  EXPECT_EQ(stack[3]->name(), "detune");
+  EXPECT_EQ(stack[4]->name(), "ctjitter");
+}
+
+TEST(SpecParser, DescribeRoundTrips) {
+  const std::string spec =
+      "roughness(sigma_um=0.05,corr=2)+quantize(levels=16)";
+  const auto stack = parse_perturbation_stack(spec);
+  const std::string described = describe_stack(stack);
+  const auto reparsed = parse_perturbation_stack(described);
+  EXPECT_EQ(describe_stack(reparsed), described);
+}
+
+TEST(SpecParser, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_perturbation_stack(""), ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("frobnicate"), ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("roughness(bogus=1)"), ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("roughness(sigma_um=abc)"),
+               ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("roughness(sigma_um=0.1"),
+               ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("roughness+"), ConfigError);
+  // Invalid parameter values fail the model's own precondition checks.
+  EXPECT_THROW(parse_perturbation_stack("quantize(levels=1)"), Error);
+  // Non-integer / negative level counts must not be cast to size_t.
+  EXPECT_THROW(parse_perturbation_stack("quantize(levels=-3)"), ConfigError);
+  EXPECT_THROW(parse_perturbation_stack("quantize(levels=7.5)"), ConfigError);
+}
+
+TEST(SpecParser, PlusInsideArgumentsIsNotASeparator) {
+  // strtod numbers may contain '+': splitting happens only at depth 0.
+  const auto stack = parse_perturbation_stack(
+      "roughness(sigma_um=1e+0,corr=+2)+quantize(levels=16)");
+  ASSERT_EQ(stack.size(), 2u);
+  const auto& rough = dynamic_cast<const SurfaceRoughness&>(*stack[0]);
+  EXPECT_DOUBLE_EQ(rough.options().sigma_um, 1.0);
+  EXPECT_DOUBLE_EQ(rough.options().correlation_px, 2.0);
+}
+
+// ------------------------------------------------------------ monte carlo
+
+struct McSetup {
+  donn::DonnModel model;
+  data::Dataset eval;
+};
+
+McSetup mc_setup(std::uint64_t seed = 7) {
+  donn::DonnConfig config = donn::DonnConfig::scaled(16);
+  config.num_layers = 2;
+  config.init = donn::PhaseInit::Uniform;
+  Rng rng(seed);
+  donn::DonnModel model(config, rng);
+  const auto raw =
+      data::make_synthetic(data::SyntheticFamily::Digits, 40, seed + 1);
+  return {std::move(model), data::resize_dataset(raw, 16)};
+}
+
+TEST(RealizationSeed, CounterBasedStreamsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t r = 0; r < 256; ++r) {
+    seen.insert(realization_seed(7, r));
+  }
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(realization_seed(7, 3), realization_seed(7, 3));
+  EXPECT_NE(realization_seed(7, 3), realization_seed(8, 3));
+}
+
+TEST(MonteCarloEvaluatorTest, RepeatedEvaluationIsBitwiseIdentical) {
+  const McSetup setup = mc_setup();
+  MonteCarloOptions options;
+  options.realizations = 6;
+  options.seed = 99;
+  const MonteCarloEvaluator evaluator(setup.eval, options);
+  const auto stack = parse_perturbation_stack(kDefaultPerturbationSpec);
+
+  const auto first = evaluator.evaluate("m", setup.model, stack);
+  const auto second = evaluator.evaluate("m", setup.model, stack);
+  ASSERT_EQ(first.accuracies.size(), 6u);
+  for (std::size_t r = 0; r < first.accuracies.size(); ++r) {
+    EXPECT_EQ(first.accuracies[r], second.accuracies[r]);
+  }
+  EXPECT_EQ(first.digest(), second.digest());
+
+  MonteCarloOptions reseeded = options;
+  reseeded.seed = 100;
+  const MonteCarloEvaluator other(setup.eval, reseeded);
+  EXPECT_NE(other.evaluate("m", setup.model, stack).digest(), first.digest());
+}
+
+TEST(MonteCarloEvaluatorTest, ReportStatisticsAreConsistent) {
+  const McSetup setup = mc_setup(17);
+  MonteCarloOptions options;
+  options.realizations = 8;
+  options.yield_threshold = 0.0;  // everything passes
+  const MonteCarloEvaluator evaluator(setup.eval, options);
+  const auto stack = parse_perturbation_stack("roughness(sigma_um=0.03)");
+  const auto report = evaluator.evaluate("m", setup.model, stack);
+
+  ASSERT_EQ(report.accuracies.size(), 8u);
+  double sum = 0.0, lo = 1.0, hi = 0.0;
+  for (const double acc : report.accuracies) {
+    sum += acc;
+    lo = std::min(lo, acc);
+    hi = std::max(hi, acc);
+  }
+  EXPECT_DOUBLE_EQ(report.mean, sum / 8.0);
+  EXPECT_DOUBLE_EQ(report.min, lo);
+  EXPECT_DOUBLE_EQ(report.max, hi);
+  EXPECT_GE(report.p50, report.p5);
+  EXPECT_GE(report.p95, report.p50);
+  EXPECT_DOUBLE_EQ(report.yield, 1.0);
+  EXPECT_DOUBLE_EQ(yield_at(report, 2.0), 0.0);  // accuracy never exceeds 1
+  EXPECT_DOUBLE_EQ(yield_at(report, report.min), 1.0);
+}
+
+TEST(MonteCarloEvaluatorTest, CommonRandomNumbersAcrossVariants) {
+  const McSetup setup_a = mc_setup(23);
+  const McSetup setup_b = mc_setup(29);  // a different model, same grid
+  MonteCarloOptions options;
+  options.realizations = 4;
+  const MonteCarloEvaluator evaluator(setup_a.eval, options);
+  const auto stack = parse_perturbation_stack(kDefaultPerturbationSpec);
+
+  // compare() must equal the two standalone evaluations exactly: the
+  // perturbation draws depend on (seed, r) only, never on the model.
+  const auto paired = evaluator.compare(
+      {{"a", &setup_a.model}, {"b", &setup_b.model}}, stack);
+  ASSERT_EQ(paired.size(), 2u);
+  EXPECT_EQ(paired[0].digest(),
+            evaluator.evaluate("a", setup_a.model, stack).digest());
+  EXPECT_EQ(paired[1].digest(),
+            evaluator.evaluate("b", setup_b.model, stack).digest());
+}
+
+TEST(MonteCarloEvaluatorTest, RejectsGridMismatchAndEmptyConfig) {
+  const McSetup setup = mc_setup(31);
+  MonteCarloOptions options;
+  options.realizations = 0;
+  EXPECT_THROW(MonteCarloEvaluator(setup.eval, options), Error);
+
+  options.realizations = 2;
+  const auto raw =
+      data::make_synthetic(data::SyntheticFamily::Digits, 10, 5);
+  const auto wrong_grid = data::resize_dataset(raw, 20);  // model is 16
+  const MonteCarloEvaluator evaluator(wrong_grid, options);
+  const auto stack = parse_perturbation_stack("quantize");
+  EXPECT_THROW(evaluator.evaluate("m", setup.model, stack), Error);
+}
+
+}  // namespace
+}  // namespace odonn::fab

@@ -9,6 +9,7 @@
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "data/idx.hpp"
 #include "data/synthetic.hpp"
 #include "data/transform.hpp"
 #include "pipeline/artifact_store.hpp"
@@ -351,6 +352,154 @@ TEST(Checkpointing, ResumeReplaysPublishSideEffects) {
                            first_registry->get("m")->phases()[l]),
               0.0);
   }
+  std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- dataset stage
+
+TEST(DatasetStageTest, SyntheticFallbackMatchesPreAttachedData) {
+  // A pipeline starting with the data stage must reproduce the classic
+  // "caller attaches datasets" path bit-for-bit: both go through
+  // load_or_synthesize with the same arithmetic.
+  DatasetStageOptions data_opt;
+  data_opt.family = data::SyntheticFamily::Digits;
+  data_opt.samples = 120;
+  data_opt.grid = 16;
+  data_opt.seed = 33;
+
+  const auto [train_set, test_set] = load_or_synthesize(data_opt);
+  EXPECT_EQ(train_set.size() + test_set.size(), 120u);
+  EXPECT_EQ(train_set.image(0).rows(), 16u);
+
+  ArtifactStore store;
+  EXPECT_FALSE(store.has_key("data.train"));
+  DatasetStage stage(data_opt);
+  EXPECT_TRUE(stage.has_side_effects());  // replayed on resume
+  stage.run(store);
+  ASSERT_TRUE(store.has_key("data.train"));
+  ASSERT_TRUE(store.has_key("data.test"));
+  ASSERT_EQ(store.train().size(), train_set.size());
+  ASSERT_EQ(store.test().size(), test_set.size());
+  for (std::size_t i = 0; i < store.train().size(); ++i) {
+    EXPECT_EQ(store.train().label(i), train_set.label(i));
+    EXPECT_EQ(max_abs_diff(store.train().image(i), train_set.image(i)), 0.0);
+  }
+}
+
+TEST(DatasetStageTest, LoadsIdxPairsFromDataDir) {
+  const std::string dir = temp_dir("pipeline_idx_data");
+  std::filesystem::create_directories(dir);
+  const auto train_raw =
+      data::make_synthetic(data::SyntheticFamily::Digits, 30, 5);
+  const auto test_raw =
+      data::make_synthetic(data::SyntheticFamily::Digits, 10, 6);
+  data::write_idx(train_raw, dir + "/train-images-idx3-ubyte",
+                  dir + "/train-labels-idx1-ubyte");
+  data::write_idx(test_raw, dir + "/t10k-images-idx3-ubyte",
+                  dir + "/t10k-labels-idx1-ubyte");
+
+  DatasetStageOptions data_opt;
+  data_opt.data_dir = dir;
+  data_opt.grid = 20;
+  ArtifactStore store;
+  DatasetStage(data_opt).run(store);
+  EXPECT_EQ(store.train().size(), 30u);
+  EXPECT_EQ(store.test().size(), 10u);
+  EXPECT_EQ(store.train().image(0).rows(), 20u);  // resized to the grid
+  EXPECT_EQ(store.test().num_classes(), 10u);
+  for (std::size_t i = 0; i < store.train().size(); ++i) {
+    EXPECT_EQ(store.train().label(i), train_raw.label(i));
+  }
+
+  // A missing file fails fast (data_dir set means IDX is mandatory).
+  DatasetStageOptions missing = data_opt;
+  missing.data_dir = dir + "/nope";
+  ArtifactStore empty;
+  EXPECT_THROW(DatasetStage(missing).run(empty), IoError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetStageTest, DataStagePipelineValidatesAndRuns) {
+  // pipeline=data,train,eval on an EMPTY store: the data stage's declared
+  // outputs satisfy train/eval inputs, and the run produces metrics.
+  TinySetup setup = tiny_setup(91);
+  setup.options.epochs_dense = 1;
+  const char* argv[] = {"prog", "pipeline=data,train,eval"};
+  const Config cfg = Config::from_args(2, argv);
+  const PipelineSpec spec = spec_from_config(cfg);
+  ASSERT_EQ(spec.stages.front(), StageKind::Dataset);
+
+  BuildContext context;
+  context.data.samples = 100;
+  context.data.grid = setup.options.model.grid.n;
+  context.data.seed = 91;
+  Pipeline pipe = build_pipeline(spec, setup.options, context);
+
+  ArtifactStore store;  // no set_data: the stage provides it
+  EXPECT_NO_THROW(pipe.validate(store));
+  pipe.run(store);
+  EXPECT_TRUE(store.has_metric(artifacts::kAccuracy));
+  EXPECT_TRUE(store.has_model(artifacts::kMainModel));
+}
+
+// ------------------------------------------------------- robust stage
+
+TEST(RobustStage, CheckpointResumeReproducesTheIdenticalReport) {
+  // The RobustEvalStage report is part of the store's metrics, so a
+  // resumed pipeline must reproduce it bit-for-bit from the checkpoint
+  // without re-simulating.
+  const TinySetup setup = tiny_setup(87);
+  const char* argv[] = {"prog", "pipeline=train,smooth,robust",
+                        "realizations=4",
+                        "perturb=roughness(sigma_um=0.04,corr=2)+misalign"};
+  const Config cfg = Config::from_args(4, argv);
+  cfg.strict(config_keys());
+  const PipelineSpec spec = spec_from_config(cfg);
+  BuildContext context;
+  context.robust = robust_options_from_config(cfg);
+  ASSERT_EQ(context.robust.realizations, 4u);
+
+  const std::string dir = temp_dir("pipeline_robust_resume");
+  RunOptions checkpointed;
+  checkpointed.checkpoint_dir = dir;
+
+  ArtifactStore reference;
+  reference.set_data(&setup.train, &setup.test);
+  build_pipeline(spec, setup.options, context)
+      .run(reference, checkpointed);
+  ASSERT_TRUE(reference.has_metric(artifacts::kRobustMean));
+  ASSERT_TRUE(reference.has_metric(artifacts::kRobustYield));
+  ASSERT_TRUE(reference.has_metric(artifacts::kRobustSmoothedMean));
+
+  // Resume with complete checkpoints: every stage is skipped and the
+  // restored metrics equal the live run exactly (text round-trip of
+  // doubles is %.17g — lossless).
+  ArtifactStore resumed;
+  resumed.set_data(&setup.train, &setup.test);
+  RunOptions resume = checkpointed;
+  resume.resume = true;
+  const auto timings =
+      build_pipeline(spec, setup.options, context).run(resumed, resume);
+  for (const auto& timing : timings) {
+    EXPECT_TRUE(timing.skipped) << timing.name;
+  }
+  for (const char* metric :
+       {artifacts::kRobustMean, artifacts::kRobustStd, artifacts::kRobustMin,
+        artifacts::kRobustP50, artifacts::kRobustYield,
+        artifacts::kRobustSmoothedMean, artifacts::kRobustSmoothedYield}) {
+    ASSERT_TRUE(resumed.has_metric(metric)) << metric;
+    EXPECT_EQ(resumed.metric(metric), reference.metric(metric)) << metric;
+  }
+
+  // And a live re-run (no checkpoints) also reproduces the report: the
+  // Monte-Carlo stage is deterministic given the seed.
+  ArtifactStore rerun;
+  rerun.set_data(&setup.train, &setup.test);
+  build_pipeline(spec, setup.options, context).run(rerun);
+  EXPECT_EQ(rerun.metric(artifacts::kRobustMean),
+            reference.metric(artifacts::kRobustMean));
+  EXPECT_EQ(rerun.metric(artifacts::kRobustYield),
+            reference.metric(artifacts::kRobustYield));
   std::filesystem::remove_all(dir);
 }
 
