@@ -22,6 +22,13 @@
 //              perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=8)'
 //            odonn_cli robust model=models/ours-c-smoothed.odnn threads=4
 //
+// Robust (noise-in-the-loop) training: robust_train=1 swaps every train
+// stage for robust_train, which averages gradients over
+// train_realizations= fabrication realizations per step (antithetic=
+// pairs them, train_resample=batch|epoch picks the sampling cadence):
+//   odonn_cli run recipe=baseline robust_train=1 train_realizations=4
+//   odonn_cli robust recipe=baseline robust_train=1 realizations=32
+//
 // All arguments are key=value; unknown keys are rejected (Config::strict)
 // and format=text|json|both selects the output. Exit code 0 on success,
 // 1 on configuration errors.
@@ -70,7 +77,10 @@ void print_usage() {
       "         dataset=mnist grid=48 samples=1200 epochs=3 seed=7\n"
       "         data_dir=DIR sweep=0.25,0.5,0.75 checkpoint_dir=DIR\n"
       "         resume=0|1 publish_name=NAME publish_dir=DIR\n"
-      "         format=text|json|both\n"
+      "         robust_train=0|1 train_realizations=2 antithetic=0|1\n"
+      "         train_antithetic=0|1 train_resample=batch|epoch\n"
+      "         train_warmup=-1 train_lr_scale=0.1 train_crosstalk=0|1\n"
+      "         perturb=SPEC format=text|json|both\n"
       "  table  dataset=mnist|fmnist|kmnist|emnist|all bench.scale=smoke|\n"
       "         default|paper grid= samples= seed= format=\n"
       "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
@@ -78,7 +88,8 @@ void print_usage() {
       "  robust model=PATH[,PATH...] | recipe=baseline,ours-c[,...]\n"
       "         perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=16)"
       "+misalign(sigma_px=0.25)'\n"
-      "         realizations=32 yield_threshold=0.5 threads=N dataset=mnist\n"
+      "         realizations=32 yield_threshold=0.5 antithetic=0|1\n"
+      "         robust_train=0|1 train_realizations=2 threads=N dataset=mnist\n"
       "         data_dir=DIR grid=32 samples=800 epochs=2 seed=7 format=\n");
 }
 
@@ -118,6 +129,9 @@ int cmd_run(const Config& cfg) {
       pipeline::PipelineSpec spec = pipeline::spec_for_recipe(kind);
       spec.flags.roughness = cfg.get_bool("roughness", spec.flags.roughness);
       spec.flags.intra = cfg.get_bool("intra", spec.flags.intra);
+      if (cfg.get_bool("robust_train", false)) {
+        pipeline::apply_robust_train(spec);
+      }
       jobs.push_back({train::recipe_name(kind), spec});
     }
   }
@@ -176,6 +190,7 @@ int cmd_run(const Config& cfg) {
     context.publish_dir = cfg.get_string("publish_dir", "");
     context.data = data_opt;
     context.robust = pipeline::robust_options_from_config(cfg);
+    context.robust_train = pipeline::robust_train_options_from_config(cfg);
     pipeline::Pipeline pipe =
         pipeline::build_pipeline(job.spec, opt, context);
 
@@ -470,6 +485,13 @@ int cmd_robust(const Config& cfg) {
         "robust: pass either model= (evaluate checkpoints) or recipe= "
         "(train then evaluate), not both");
   }
+  if (cfg.has("model") && cfg.get_bool("robust_train", false)) {
+    // Same contract: checkpoints are already trained, so a silently
+    // ignored robust_train=1 would misreport what was evaluated.
+    throw ConfigError(
+        "robust: robust_train=1 requires recipe= (model= checkpoints are "
+        "already trained)");
+  }
   if (cfg.has("model")) {
     for (const std::string& path : split_csv(cfg.get_string("model", ""))) {
       variants.emplace_back(
@@ -491,6 +513,10 @@ int cmd_robust(const Config& cfg) {
     auto prepared = pipeline::load_or_synthesize(data_opt);
     data::Dataset train_set = std::move(prepared.first);
     test_set = std::move(prepared.second);
+    const bool robust_train = cfg.get_bool("robust_train", false);
+    pipeline::BuildContext train_context;
+    train_context.robust_train =
+        pipeline::robust_train_options_from_config(cfg);
     for (const std::string& name :
          split_csv(cfg.get_string("recipe", "baseline,ours-c"))) {
       const train::RecipeKind kind = train::parse_recipe(name);
@@ -502,15 +528,17 @@ int cmd_robust(const Config& cfg) {
                stage != pipeline::StageKind::Sparsify &&
                stage != pipeline::StageKind::Smooth;
       });
+      if (robust_train) pipeline::apply_robust_train(spec);
       pipeline::ArtifactStore store;
       store.set_data(&train_set, &test_set);
-      pipeline::build_pipeline(spec, opt).run(store);
+      pipeline::build_pipeline(spec, opt, train_context).run(store);
+      const std::string label = std::string(train::recipe_name(kind)) +
+                                (robust_train ? "-robust" : "");
       variants.emplace_back(
-          train::recipe_name(kind),
-          std::make_shared<const donn::DonnModel>(
-              store.model(pipeline::artifacts::kMainModel)));
+          label, std::make_shared<const donn::DonnModel>(
+                     store.model(pipeline::artifacts::kMainModel)));
       variants.emplace_back(
-          std::string(train::recipe_name(kind)) + "-smoothed",
+          label + "-smoothed",
           std::make_shared<const donn::DonnModel>(
               store.model(pipeline::artifacts::kSmoothedModel)));
     }
@@ -519,6 +547,7 @@ int cmd_robust(const Config& cfg) {
   fab::MonteCarloOptions mc;
   mc.realizations = robust_opt.realizations;
   mc.seed = opt.seed + 1000;  // matches RobustEvalStage's stream
+  mc.antithetic = robust_opt.antithetic;
   mc.yield_threshold = robust_opt.yield_threshold;
   mc.crosstalk = opt.crosstalk;
   const fab::MonteCarloEvaluator evaluator(test_set, mc);

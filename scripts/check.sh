@@ -34,3 +34,26 @@ if [ "$d1" != "$d4" ]; then
   exit 1
 fi
 echo "robust smoke: ODONN_THREADS=1 vs 4 digests identical"
+
+# Robust-training smoke: the noise-in-the-loop bench must pass its shape
+# checks (robust-trained yield strictly above the 2*pi-smoothed-only
+# variant under CRN) AND emit bitwise-identical digests across thread
+# counts — "train_digest" hashes the trained PHASE BITS, so this enforces
+# the trainer's fixed-slice determinism contract, not just the evaluator's.
+robust_train_smoke() {
+  ODONN_THREADS="$1" ./robust_train bench.scale=smoke format=json ||
+    { echo "robust-train smoke: robust_train bench failed (threads=$1)" >&2
+      exit 1; }
+}
+t1="$(robust_train_smoke 1)"
+t4="$(robust_train_smoke 4)"
+td1="$(printf '%s\n' "$t1" | grep -o '"[a-z_]*digest": "[0-9a-f]*"' || true)"
+td4="$(printf '%s\n' "$t4" | grep -o '"[a-z_]*digest": "[0-9a-f]*"' || true)"
+[ -n "$td1" ] || { echo "robust-train smoke: no digests emitted" >&2; exit 1; }
+if [ "$td1" != "$td4" ]; then
+  echo "robust-train smoke: reports differ between ODONN_THREADS=1 and 4" >&2
+  echo "threads=1: $td1" >&2
+  echo "threads=4: $td4" >&2
+  exit 1
+fi
+echo "robust-train smoke: ODONN_THREADS=1 vs 4 digests identical"

@@ -49,9 +49,11 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
 }
 
 double Rng::normal() {
+  // The cache stores the PLAIN variate; the antithetic sign is applied at
+  // return so toggling the flag between draws still mirrors exactly.
   if (has_cached_normal_) {
     has_cached_normal_ = false;
-    return cached_normal_;
+    return antithetic_ ? -cached_normal_ : cached_normal_;
   }
   // Box–Muller; u1 kept away from zero so log() is finite.
   double u1 = uniform();
@@ -61,7 +63,8 @@ double Rng::normal() {
   const double angle = 2.0 * M_PI * u2;
   cached_normal_ = radius * std::sin(angle);
   has_cached_normal_ = true;
-  return radius * std::cos(angle);
+  const double value = radius * std::cos(angle);
+  return antithetic_ ? -value : value;
 }
 
 double Rng::normal(double mean, double stddev) {

@@ -47,11 +47,21 @@ class Rng {
   /// Uniform integer in [0, n). Requires n > 0.
   std::uint64_t uniform_index(std::uint64_t n);
 
-  /// Standard normal via Box–Muller (cached second variate).
+  /// Standard normal via Box–Muller (cached second variate). With the
+  /// antithetic flag set, returns the NEGATED variate of the plain stream.
   double normal();
 
-  /// Normal with given mean / stddev.
+  /// Normal with given mean / stddev (antithetic mirrors about the mean).
   double normal(double mean, double stddev);
+
+  /// Antithetic mode: every normal draw is mirrored (z -> -z) while the
+  /// underlying uniform stream advances identically, so an antithetic Rng
+  /// seeded like a plain one consumes the exact same u64 sequence and
+  /// yields the exact sign-flipped Gaussian variates. This is the variance
+  /// -reduction primitive behind src/fab's paired realization streams;
+  /// uniform()/gumbel()/bernoulli() are deliberately unaffected.
+  void set_antithetic(bool on) { antithetic_ = on; }
+  bool antithetic() const { return antithetic_; }
 
   /// Standard Gumbel(0,1): -log(-log(U)), U ~ Uniform(0,1), clamped away
   /// from 0 and 1 so the result is always finite.
@@ -79,6 +89,7 @@ class Rng {
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;
+  bool antithetic_ = false;
 };
 
 }  // namespace odonn

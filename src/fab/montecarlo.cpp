@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <memory>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "serve/batched_forward.hpp"
+#include "tensor/stats.hpp"
 
 namespace odonn::fab {
 
@@ -37,19 +37,11 @@ double batched_accuracy(donn::DonnModel model,
 }  // namespace
 
 std::uint64_t RobustnessReport::digest() const {
-  // FNV-1a over the IEEE-754 bit patterns: any single-bit difference in any
-  // realization's accuracy changes the digest.
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  const auto mix = [&hash](double value) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash ^= (bits >> shift) & 0xffULL;
-      hash *= 0x100000001b3ULL;
-    }
-  };
-  mix(clean_accuracy);
-  for (const double acc : accuracies) mix(acc);
+  // The shared FNV-1a-over-double-bits fold (tensor/stats): any single-bit
+  // difference in any realization's accuracy changes the digest.
+  std::uint64_t hash = kFnv1aBasis;
+  hash = fnv1a_mix(hash, clean_accuracy);
+  for (const double acc : accuracies) hash = fnv1a_mix(hash, acc);
   return hash;
 }
 
@@ -63,19 +55,9 @@ double yield_at(const RobustnessReport& report, double threshold) {
 
 double percentile(const RobustnessReport& report, double q) {
   if (report.accuracies.empty()) return 0.0;
-  std::vector<double> sorted = report.accuracies;
-  std::sort(sorted.begin(), sorted.end());
-  std::size_t rank = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size()) + 0.999999);
-  rank = std::max<std::size_t>(1, std::min(rank, sorted.size()));
-  return sorted[rank - 1];
-}
-
-std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization) {
-  // SplitMix64 over (base ^ golden-ratio-spread counter): independent of
-  // thread assignment, collision-free over realization indices.
-  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * (realization + 1)));
-  return mixer.next();
+  // The repo-wide nearest-rank rule (tensor/stats) — shared with serve's
+  // latency percentiles, boundary-exact at integral q*R.
+  return percentile_nearest_rank(report.accuracies, q);
 }
 
 MonteCarloEvaluator::MonteCarloEvaluator(const data::Dataset& eval_set,
@@ -84,6 +66,26 @@ MonteCarloEvaluator::MonteCarloEvaluator(const data::Dataset& eval_set,
   ODONN_CHECK(options_.realizations > 0,
               "monte carlo: need at least one realization");
   ODONN_CHECK(!eval_.empty(), "monte carlo: eval set is empty");
+}
+
+std::shared_ptr<const std::vector<optics::Field>>
+MonteCarloEvaluator::encoded_inputs(const optics::GridSpec& grid) const {
+  // Encode the eval set once and cache it: every realization of every
+  // variant shares the same input fields. The cache is replaced (never
+  // mutated in place) under the mutex, so concurrent evaluate() calls are
+  // safe: each caller keeps its own shared_ptr snapshot for the whole run.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (inputs_ == nullptr || !(inputs_grid_ == grid)) {
+    auto encoded = std::make_shared<std::vector<optics::Field>>();
+    encoded->reserve(eval_.size());
+    for (std::size_t i = 0; i < eval_.size(); ++i) {
+      encoded->push_back(
+          optics::encode_image(eval_.image(i), grid, options_.encode));
+    }
+    inputs_ = std::move(encoded);
+    inputs_grid_ = grid;
+  }
+  return inputs_;
 }
 
 RobustnessReport MonteCarloEvaluator::evaluate(
@@ -95,18 +97,9 @@ RobustnessReport MonteCarloEvaluator::evaluate(
               "monte carlo: eval images must match the model grid (use "
               "data::resize_dataset)");
 
-  // Encode the eval set once and cache it: every realization of every
-  // variant shares the same input fields.
-  if (inputs_.empty() || !(inputs_grid_ == grid)) {
-    inputs_.clear();
-    inputs_.reserve(eval_.size());
-    for (std::size_t i = 0; i < eval_.size(); ++i) {
-      inputs_.push_back(
-          optics::encode_image(eval_.image(i), grid, options_.encode));
-    }
-    inputs_grid_ = grid;
-  }
-  const std::vector<optics::Field>& inputs = inputs_;
+  const std::shared_ptr<const std::vector<optics::Field>> snapshot =
+      encoded_inputs(grid);
+  const std::vector<optics::Field>& inputs = *snapshot;
 
   RobustnessReport report;
   report.model_name = name;
@@ -120,17 +113,9 @@ RobustnessReport MonteCarloEvaluator::evaluate(
   // Each slot is written exactly once at its realization index, so the
   // report is bitwise independent of thread count and scheduling.
   parallel_for(0, options_.realizations, [&](std::size_t r) {
-    Rng rng(realization_seed(options_.seed, r));
-    FabricatedDevice device{model.phases(), options_.crosstalk};
-    apply_stack(stack, device, rng);
-    if (options_.deploy_crosstalk) {
-      for (auto& phase : device.phases) {
-        phase = donn::apply_crosstalk(phase, device.crosstalk);
-      }
-    }
-    donn::DonnModel realized = model;
-    realized.clear_masks();  // perturbed surfaces are dense reliefs
-    realized.set_phases(std::move(device.phases));
+    Rng rng = realization_rng(options_.seed, r, options_.antithetic);
+    donn::DonnModel realized = realize_device(
+        model, stack, options_.crosstalk, options_.deploy_crosstalk, rng);
     report.accuracies[r] = batched_accuracy(std::move(realized), inputs, eval_);
   });
 

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +37,11 @@ namespace odonn::fab {
 struct MonteCarloOptions {
   std::size_t realizations = 32;
   std::uint64_t seed = 7;
+  /// Antithetic realization pairs (fab::realization_rng): realizations
+  /// (2m, 2m+1) share one seed with mirrored Gaussian draws, lowering the
+  /// variance of the mean-accuracy estimator at equal R. Works best with
+  /// an even R so every pair is complete.
+  bool antithetic = false;
   /// Accuracy a fabricated device must reach to count toward yield.
   double yield_threshold = 0.5;
   /// Deploy each realization through the interpixel-crosstalk emulation
@@ -70,12 +77,9 @@ struct RobustnessReport {
 /// the per-realization accuracies, so yield curves need no re-simulation).
 double yield_at(const RobustnessReport& report, double threshold);
 
-/// Nearest-rank percentile of the report's accuracy distribution.
+/// Nearest-rank percentile of the report's accuracy distribution (the
+/// repo-wide odonn::nearest_rank rule from tensor/stats).
 double percentile(const RobustnessReport& report, double q);
-
-/// Counter-based per-realization seed: a pure function of (base, r), so
-/// realization streams are independent of thread count and of each other.
-std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization);
 
 class MonteCarloEvaluator {
  public:
@@ -102,14 +106,21 @@ class MonteCarloEvaluator {
       const PerturbationStack& stack) const;
 
  private:
+  /// Encoded eval fields for the grid they were built against. Shared
+  /// immutable snapshot: evaluate() holds its own reference for the whole
+  /// run, so a concurrent rebuild for a different grid can never mutate a
+  /// vector another call is still reading.
+  std::shared_ptr<const std::vector<optics::Field>> encoded_inputs(
+      const optics::GridSpec& grid) const;
+
   const data::Dataset& eval_;
   MonteCarloOptions options_;
   /// Encoded eval fields, built on first use and reused across
-  /// evaluate()/compare() calls (variant grids are required to match the
-  /// eval images anyway). Because of this cache, concurrent evaluate()
-  /// calls on ONE instance are not supported — the evaluator already owns
-  /// the realization-level parallelism.
-  mutable std::vector<optics::Field> inputs_;
+  /// evaluate()/compare() calls. Guarded by cache_mutex_ so concurrent
+  /// evaluate() calls on one instance are safe (each call still owns the
+  /// realization-level parallelism inside it).
+  mutable std::mutex cache_mutex_;
+  mutable std::shared_ptr<const std::vector<optics::Field>> inputs_;
   mutable optics::GridSpec inputs_grid_{};
 };
 

@@ -34,6 +34,38 @@ std::string describe_stack(const PerturbationStack& stack) {
   return out;
 }
 
+std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization) {
+  // SplitMix64 over (base ^ golden-ratio-spread counter): independent of
+  // thread assignment, collision-free over realization indices.
+  SplitMix64 mixer(base ^ (0x9e3779b97f4a7c15ULL * (realization + 1)));
+  return mixer.next();
+}
+
+Rng realization_rng(std::uint64_t base, std::uint64_t realization,
+                    bool antithetic) {
+  if (!antithetic) return Rng(realization_seed(base, realization));
+  Rng rng(realization_seed(base, realization / 2));
+  rng.set_antithetic(realization % 2 == 1);
+  return rng;
+}
+
+donn::DonnModel realize_device(const donn::DonnModel& model,
+                               const PerturbationStack& stack,
+                               const donn::CrosstalkOptions& crosstalk,
+                               bool deploy_crosstalk, Rng& rng) {
+  FabricatedDevice device{model.phases(), crosstalk};
+  apply_stack(stack, device, rng);
+  if (deploy_crosstalk) {
+    for (auto& phase : device.phases) {
+      phase = donn::apply_crosstalk(phase, device.crosstalk);
+    }
+  }
+  donn::DonnModel realized = model;
+  realized.clear_masks();  // perturbed surfaces are dense reliefs
+  realized.set_phases(std::move(device.phases));
+  return realized;
+}
+
 MatrixD gaussian_random_field(std::size_t rows, std::size_t cols,
                               double correlation_px, Rng& rng) {
   ODONN_CHECK(rows > 0 && cols > 0, "gaussian_random_field: empty shape");

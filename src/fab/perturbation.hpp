@@ -38,6 +38,7 @@
 
 #include "common/rng.hpp"
 #include "donn/crosstalk.hpp"
+#include "donn/model.hpp"
 #include "optics/fabrication.hpp"
 #include "tensor/matrix.hpp"
 
@@ -75,6 +76,31 @@ void apply_stack(const PerturbationStack& stack, FabricatedDevice& device,
 /// "model+model+..." description of a stack (round-trips through
 /// fab::parse_perturbation_stack).
 std::string describe_stack(const PerturbationStack& stack);
+
+/// Counter-based per-realization seed: a pure function of (base, r), so
+/// realization streams are independent of thread count and of each other.
+std::uint64_t realization_seed(std::uint64_t base, std::uint64_t realization);
+
+/// The per-realization RNG stream shared by the Monte-Carlo evaluator and
+/// the robust trainer. Plain mode: realization r draws from
+/// realization_seed(base, r). Antithetic mode: realizations are consumed
+/// as mirrored PAIRS — 2m and 2m+1 share realization_seed(base, m), with
+/// the odd member's normal draws sign-flipped (Rng::set_antithetic), so a
+/// pair brackets the same draw and the pair mean cancels the response's
+/// linear term (variance reduction; a ROADMAP follow-up of PR 3).
+Rng realization_rng(std::uint64_t base, std::uint64_t realization,
+                    bool antithetic);
+
+/// One fabricated deployment of `model`: applies `stack` to its phase
+/// masks (drawing from `rng`) under `crosstalk` and, when requested,
+/// deploys the perturbed masks through the interpixel-crosstalk emulation.
+/// The returned model has its sparsity masks cleared (perturbed surfaces
+/// are dense reliefs). Shared by MonteCarloEvaluator and train::Trainer's
+/// robust mode so both walk the identical deployment path.
+donn::DonnModel realize_device(const donn::DonnModel& model,
+                               const PerturbationStack& stack,
+                               const donn::CrosstalkOptions& crosstalk,
+                               bool deploy_crosstalk, Rng& rng);
 
 /// Correlated Gaussian random field: white standard normals blurred with a
 /// separable Gaussian kernel and renormalized to EXACT unit sample RMS.

@@ -15,6 +15,7 @@ StageKind parse_stage_kind(const std::string& name) {
   });
   if (low == "data" || low == "dataset") return StageKind::Dataset;
   if (low == "train") return StageKind::Train;
+  if (low == "robust_train") return StageKind::RobustTrain;
   if (low == "sparsify") return StageKind::Sparsify;
   if (low == "smooth") return StageKind::Smooth;
   if (low == "eval" || low == "evaluate") return StageKind::Evaluate;
@@ -23,8 +24,8 @@ StageKind parse_stage_kind(const std::string& name) {
   if (low == "publish") return StageKind::Publish;
   throw ConfigError(
       "unknown pipeline stage '" + name +
-      "' (expected data, train, sparsify, smooth, eval, robust, report or "
-      "publish)");
+      "' (expected data, train, robust_train, sparsify, smooth, eval, "
+      "robust, report or publish)");
 }
 
 PipelineSpec spec_for_recipe(train::RecipeKind kind) {
@@ -64,7 +65,16 @@ PipelineSpec spec_from_config(const Config& cfg) {
   }
   spec.flags.roughness = cfg.get_bool("roughness", spec.flags.roughness);
   spec.flags.intra = cfg.get_bool("intra", spec.flags.intra);
+  if (cfg.get_bool("robust_train", false)) {
+    apply_robust_train(spec);
+  }
   return spec;
+}
+
+void apply_robust_train(PipelineSpec& spec) {
+  for (StageKind& stage : spec.stages) {
+    if (stage == StageKind::Train) stage = StageKind::RobustTrain;
+  }
 }
 
 train::RecipeOptions options_from_config(const Config& cfg) {
@@ -121,6 +131,38 @@ RobustStageOptions robust_options_from_config(const Config& cfg) {
   opt.realizations = static_cast<std::size_t>(realizations);
   opt.yield_threshold =
       cfg.get_double("yield_threshold", opt.yield_threshold);
+  opt.antithetic = cfg.get_bool("antithetic", opt.antithetic);
+  return opt;
+}
+
+RobustTrainStageOptions robust_train_options_from_config(const Config& cfg) {
+  RobustTrainStageOptions opt;
+  opt.perturb = cfg.get_string("perturb", "");
+  const long realizations =
+      cfg.get_int("train_realizations", static_cast<long>(opt.realizations));
+  if (realizations < 1) {
+    throw ConfigError("train_realizations must be >= 1");
+  }
+  opt.realizations = static_cast<std::size_t>(realizations);
+  // antithetic= drives training and MC evaluation together (the common
+  // case); train_antithetic= overrides just the training streams, e.g. to
+  // keep evaluation digests comparable while pairing the gradient draws.
+  opt.antithetic = cfg.get_bool(
+      "train_antithetic", cfg.get_bool("antithetic", opt.antithetic));
+  if (opt.antithetic && opt.realizations % 2 != 0) {
+    throw ConfigError(
+        "train_realizations must be even with antithetic pairing (pass "
+        "train_antithetic=0 for plain training streams)");
+  }
+  opt.per_epoch =
+      cfg.get_enum("train_resample", "batch", {"batch", "epoch"}) == "epoch";
+  opt.warmup_epochs = cfg.get_int("train_warmup", opt.warmup_epochs);
+  opt.deploy_crosstalk =
+      cfg.get_bool("train_crosstalk", opt.deploy_crosstalk);
+  opt.lr_scale = cfg.get_double("train_lr_scale", opt.lr_scale);
+  if (opt.lr_scale <= 0.0) {
+    throw ConfigError("train_lr_scale must be > 0");
+  }
   return opt;
 }
 
@@ -131,7 +173,10 @@ std::vector<std::string> config_keys() {
           "lr",              "lr_sparse", "p",         "q",
           "sparsity",        "block",     "two_pi_iters",
           "crosstalk",       "seed",      "verbose",   "data_dir",
-          "perturb",         "realizations",           "yield_threshold"};
+          "perturb",         "realizations",           "yield_threshold",
+          "antithetic",      "robust_train",           "train_realizations",
+          "train_resample",  "train_warmup",           "train_lr_scale",
+          "train_crosstalk", "train_antithetic"};
 }
 
 Pipeline build_pipeline(const PipelineSpec& spec,
@@ -149,6 +194,10 @@ Pipeline build_pipeline(const PipelineSpec& spec,
         break;
       case StageKind::Train:
         pipe.add(std::make_unique<TrainStage>(options, spec.flags));
+        break;
+      case StageKind::RobustTrain:
+        pipe.add(std::make_unique<RobustTrainStage>(options, spec.flags,
+                                                    context.robust_train));
         break;
       case StageKind::Sparsify:
         pipe.add(std::make_unique<SparsifyStage>(options, spec.flags));

@@ -21,6 +21,7 @@ namespace odonn::pipeline {
 enum class StageKind {
   Dataset,
   Train,
+  RobustTrain,
   Sparsify,
   Smooth,
   Evaluate,
@@ -46,9 +47,15 @@ PipelineSpec spec_for_recipe(train::RecipeKind kind);
 /// names or an empty list.
 std::vector<StageKind> parse_stage_list(const std::string& csv);
 
+/// Swaps every Train stage for RobustTrain (the `robust_train=1` mapping;
+/// exposed for drivers that assemble specs without spec_from_config).
+void apply_robust_train(PipelineSpec& spec);
+
 /// Spec from Config: `recipe=` picks a shortcut, `pipeline=` overrides the
-/// stage list, `roughness=`/`intra=` override the regularizer flags.
-/// Defaults to recipe=ours-c's spec when neither key is present.
+/// stage list, `roughness=`/`intra=` override the regularizer flags, and
+/// `robust_train=1` swaps every train stage for its noise-in-the-loop
+/// robust_train counterpart. Defaults to recipe=ours-c's spec when neither
+/// recipe nor pipeline is present.
 PipelineSpec spec_from_config(const Config& cfg);
 
 /// RecipeOptions from flat config keys (grid=, samples-independent):
@@ -63,8 +70,15 @@ train::RecipeOptions options_from_config(const Config& cfg);
 DatasetStageOptions dataset_options_from_config(const Config& cfg);
 
 /// RobustStageOptions from flat config keys: perturb=, realizations=,
-/// yield_threshold=.
+/// yield_threshold=, antithetic=.
 RobustStageOptions robust_options_from_config(const Config& cfg);
+
+/// RobustTrainStageOptions from flat config keys: perturb= (shared with
+/// the robust eval stage), train_realizations=, antithetic= (shared;
+/// train_antithetic= overrides training independently),
+/// train_resample=batch|epoch, train_warmup=, train_lr_scale=,
+/// train_crosstalk=.
+RobustTrainStageOptions robust_train_options_from_config(const Config& cfg);
 
 /// Every config key understood by spec_from_config/options_from_config
 /// (for Config::strict; callers append their own driver-level keys).
@@ -81,6 +95,8 @@ struct BuildContext {
   DatasetStageOptions data;
   /// Used when the spec contains a Robust stage.
   RobustStageOptions robust;
+  /// Used when the spec contains a RobustTrain stage.
+  RobustTrainStageOptions robust_train;
 };
 
 /// Instantiates the stage objects for a spec. Throws ConfigError when the

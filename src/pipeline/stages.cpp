@@ -1,5 +1,6 @@
 #include "pipeline/stages.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
@@ -110,6 +111,75 @@ void TrainStage::run(ArtifactStore& store) {
   trainer.run();
 }
 
+// ---------------------------------------------------------- RobustTrain
+
+RobustTrainStage::RobustTrainStage(train::RecipeOptions options,
+                                   RegularizerFlags flags,
+                                   RobustTrainStageOptions robust)
+    : options_(std::move(options)),
+      flags_(flags),
+      robust_(std::move(robust)) {
+  ODONN_CHECK(robust_.realizations > 0,
+              "robust_train stage: need at least one realization");
+}
+
+void RobustTrainStage::run(ArtifactStore& store) {
+  if (!store.has_model(artifacts::kMainModel)) {
+    Rng rng(options_.seed);
+    store.put_model(artifacts::kMainModel,
+                    donn::DonnModel(options_.model, rng));
+  }
+  donn::DonnModel& model = store.mutable_model(artifacts::kMainModel);
+
+  // Split the dense budget into clean warm-up + noise-in-the-loop epochs
+  // (see RobustTrainStageOptions::warmup_epochs); total epochs — and thus
+  // the clean-accuracy budget — match a plain TrainStage exactly.
+  const long total = static_cast<long>(options_.epochs_dense);
+  long warmup = robust_.warmup_epochs;
+  if (warmup < 0) warmup = total - std::max<long>(1, total / 4);
+  warmup = std::clamp<long>(warmup, 0, total);
+  const long robust_epochs = total - warmup;
+
+  if (warmup > 0) {
+    train::TrainOptions clean = base_train_options(options_, flags_);
+    clean.epochs = static_cast<std::size_t>(warmup);
+    clean.lr = options_.lr_dense;
+    train::Trainer trainer(model, store.train(), clean);
+    trainer.run();
+  }
+  if (robust_epochs > 0) {
+    const fab::PerturbationStack stack = fab::parse_perturbation_stack(
+        robust_.perturb.empty() ? fab::kDefaultPerturbationSpec
+                                : robust_.perturb);
+    train::TrainOptions dense = base_train_options(options_, flags_);
+    dense.epochs = static_cast<std::size_t>(robust_epochs);
+    dense.lr = options_.lr_dense * robust_.lr_scale;
+    dense.robust.stack = &stack;
+    dense.robust.realizations = robust_.realizations;
+    dense.robust.antithetic = robust_.antithetic;
+    dense.robust.per_epoch = robust_.per_epoch;
+    dense.robust.deploy_crosstalk = robust_.deploy_crosstalk;
+    dense.robust.crosstalk = options_.crosstalk;
+    dense.robust.seed = options_.seed + 500;  // apart from train/smooth/mc
+    // Continuation training on a checkpointed model resumes the
+    // realization stream where the previous run stopped (counter
+    // round-trips exactly: metrics are doubles, integral up to 2^53).
+    if (store.has_metric(artifacts::kRobustTrainRealizations)) {
+      dense.robust.counter_start = static_cast<std::uint64_t>(
+          store.metric(artifacts::kRobustTrainRealizations));
+    }
+    train::Trainer trainer(model, store.train(), dense);
+    trainer.run();
+    store.put_metric(artifacts::kRobustTrainRealizations,
+                     static_cast<double>(trainer.realizations_sampled()));
+  } else if (!store.has_metric(artifacts::kRobustTrainRealizations)) {
+    // All-warm-up configuration: the declared output must still exist, but
+    // a counter restored from a checkpoint is NOT reset — a later robust
+    // session resumes the stream where the previous one stopped.
+    store.put_metric(artifacts::kRobustTrainRealizations, 0.0);
+  }
+}
+
 // ------------------------------------------------------------- Sparsify
 
 SparsifyStage::SparsifyStage(train::RecipeOptions options,
@@ -207,6 +277,7 @@ void RobustEvalStage::run(ArtifactStore& store) {
   fab::MonteCarloOptions mc;
   mc.realizations = robust_.realizations;
   mc.seed = options_.seed + 1000;  // own stream, apart from train/smooth
+  mc.antithetic = robust_.antithetic;
   mc.yield_threshold = robust_.yield_threshold;
   mc.crosstalk = options_.crosstalk;
   const fab::MonteCarloEvaluator evaluator(store.test(), mc);

@@ -45,6 +45,11 @@ inline constexpr const char* kRobustSmoothedStd = "robust_smoothed_std";
 inline constexpr const char* kRobustSmoothedMin = "robust_smoothed_min";
 inline constexpr const char* kRobustSmoothedP50 = "robust_smoothed_p50";
 inline constexpr const char* kRobustSmoothedYield = "robust_smoothed_yield";
+// RobustTrainStage: total realizations drawn from the robust training
+// stream. Checkpointed with the other metrics, so a resumed pipeline that
+// trains further continues the identical stream.
+inline constexpr const char* kRobustTrainRealizations =
+    "robust_train_realizations";
 }  // namespace artifacts
 
 /// Which of the paper's regularizers a training stage applies (the only
@@ -115,6 +120,60 @@ class TrainStage : public Stage {
   RegularizerFlags flags_;
 };
 
+/// Noise-in-the-loop robust-training options for RobustTrainStage (the
+/// perturbation stack is kept as its textual spec, like RobustStageOptions,
+/// so the stage stays copyable and descriptions printable).
+struct RobustTrainStageOptions {
+  std::string perturb;  ///< fab spec; empty -> fab::kDefaultPerturbationSpec
+  std::size_t realizations = 2;  ///< K device samples per optimizer step
+  bool antithetic = true;        ///< mirrored realization pairs
+  bool per_epoch = false;        ///< resample per epoch instead of per batch
+  /// Clean warm-up epochs before the noise-in-the-loop epochs (the stage's
+  /// epochs_dense total is split warmup + robust). Noise-averaged
+  /// gradients steer best near convergence — training from scratch under
+  /// fabrication noise mostly slows learning — so the default (-1) warms
+  /// up for all but the final quarter: max(1, epochs_dense/4) robust
+  /// epochs.
+  long warmup_epochs = -1;
+  /// lr factor for the robust epochs: the noise-averaged surrogate wants
+  /// smaller steps than clean dense training (same spirit as the recipe's
+  /// lr_sparse fine-tune phases).
+  double lr_scale = 0.1;
+  /// Deploy each training realization through the interpixel-crosstalk
+  /// emulation. Off by default: for ADDITIVE fabrication noise the
+  /// straight-through gradient is an unbiased estimator of the expected
+  /// fabricated loss, but through the roughness-gated crosstalk blur it
+  /// acquires a bias that can dominate the update (the blur rides on the
+  /// injected GRF, not on the clean mask). The Monte-Carlo evaluator still
+  /// deploys crosstalk — training adapts to the noise, evaluation keeps
+  /// the full deployment path.
+  bool deploy_crosstalk = false;
+};
+
+/// Robust dense training: like TrainStage, but every optimizer step
+/// averages gradients over K fabrication realizations of the current
+/// device (train::RobustTrainOptions), so the recipe optimizes the
+/// EXPECTED fabricated accuracy rather than the clean one. Produces
+/// model.main plus metric.robust_train_realizations — the sampled-
+/// realization counter, serialized via the store so checkpoint-resumed
+/// continuation training draws the same stream an uninterrupted run would.
+class RobustTrainStage : public Stage {
+ public:
+  RobustTrainStage(train::RecipeOptions options, RegularizerFlags flags,
+                   RobustTrainStageOptions robust);
+  std::string name() const override { return "robust_train"; }
+  std::vector<std::string> inputs() const override { return {"data.train"}; }
+  std::vector<std::string> outputs() const override {
+    return {"model.main", "metric.robust_train_realizations"};
+  }
+  void run(ArtifactStore& store) override;
+
+ private:
+  train::RecipeOptions options_;
+  RegularizerFlags flags_;
+  RobustTrainStageOptions robust_;
+};
+
 /// SLR block-sparsity training (§III-C2): penalty-coupled training epochs,
 /// hard prune to the SLR support, then mask-frozen fine-tuning.
 class SparsifyStage : public Stage {
@@ -174,6 +233,10 @@ struct RobustStageOptions {
   std::string perturb;  ///< fab spec; empty -> fab::kDefaultPerturbationSpec
   std::size_t realizations = 16;
   double yield_threshold = 0.5;
+  /// Antithetic realization pairs (MonteCarloOptions::antithetic). Off by
+  /// default: plain streams keep report digests comparable with earlier
+  /// runs; turn on for lower-variance means at equal R.
+  bool antithetic = false;
 };
 
 /// Monte-Carlo robustness evaluation (src/fab): R perturbed realizations of

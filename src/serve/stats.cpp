@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/stats.hpp"
+
 namespace odonn::serve {
 
 namespace {
 
-/// Nearest-rank percentile over an unsorted copy; q in (0, 1].
+/// Nearest-rank percentile over an unsorted copy; q in [0, 1]. The rank
+/// comes from the shared odonn::nearest_rank rule (tensor/stats) so serve,
+/// fab and tensor percentiles agree on boundary ranks; nth_element keeps
+/// this O(n) for the latency window.
 double percentile(std::vector<double>& values, double q) {
   if (values.empty()) return 0.0;
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(values.size())));
-  const std::size_t index = (rank == 0 ? 1 : rank) - 1;
+  const std::size_t index = nearest_rank(q, values.size()) - 1;
   std::nth_element(values.begin(),
                    values.begin() + static_cast<std::ptrdiff_t>(index),
                    values.end());

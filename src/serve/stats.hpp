@@ -3,9 +3,11 @@
 //
 // Request latencies (submit -> response ready) go into a fixed-capacity
 // ring so memory stays bounded under sustained traffic; percentiles are
-// computed over the retained window with the nearest-rank rule
-// (p(q) = sorted[ceil(q*count)] counting from 1). Throughput is completed
-// requests divided by the span between the first and last completion.
+// computed over the retained window with the repo-wide nearest-rank rule
+// (odonn::nearest_rank in tensor/stats: p(q) = sorted[ceil(q*count)]
+// counting from 1, boundary-exact at integral q*count). Throughput is
+// completed requests divided by the span between the first and last
+// completion.
 //
 // Thread safety: all members are safe for concurrent use (internal mutex).
 #pragma once

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -47,10 +48,37 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+std::size_t nearest_rank(double q, std::size_t n) {
+  ODONN_CHECK(n > 0, "nearest_rank of empty sample");
+  ODONN_CHECK(q >= 0.0 && q <= 1.0, "nearest_rank q must be in [0, 1]");
+  // The epsilon absorbs one-ulp-high products like 0.05 * 20 ==
+  // 1.0000000000000002, whose ceil would otherwise skip a rank; it is far
+  // below the 1/n spacing of distinct ranks for any practical n.
+  const double scaled = q * static_cast<double>(n);
+  const auto rank = static_cast<std::size_t>(std::ceil(scaled - 1e-9));
+  return std::max<std::size_t>(1, std::min(rank, n));
+}
+
+double percentile_nearest_rank(std::vector<double> values, double q) {
+  ODONN_CHECK(!values.empty(), "percentile of empty vector");
+  std::sort(values.begin(), values.end());
+  return values[nearest_rank(q, values.size()) - 1];
+}
+
 double abs_percentile(const MatrixD& m, double q) {
   std::vector<double> mags(m.size());
   for (std::size_t i = 0; i < m.size(); ++i) mags[i] = std::abs(m[i]);
   return percentile(std::move(mags), q);
+}
+
+std::uint64_t fnv1a_mix(std::uint64_t hash, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (bits >> shift) & 0xffULL;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 }  // namespace odonn

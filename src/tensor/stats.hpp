@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -23,7 +24,30 @@ double max_value(const MatrixD& m);
 /// matching numpy.percentile's default. Input copied and sorted.
 double percentile(std::vector<double> values, double q);
 
+/// 1-based nearest-rank index for quantile q in [0, 1] over n samples:
+/// ceil(q*n) clamped to [1, n]. The repo-wide rank rule — fab's robustness
+/// percentiles and serve's latency percentiles both route through it.
+/// Products q*n that are integral in exact arithmetic but land one ulp
+/// above the integer in doubles (e.g. 0.05 * 20) are snapped down, so the
+/// rank never drifts up at exact-multiple boundaries. q = 0 maps to rank 1
+/// (the minimum), q = 1 to rank n (the maximum).
+std::size_t nearest_rank(double q, std::size_t n);
+
+/// Nearest-rank quantile (q in [0, 1], no interpolation): the sorted
+/// sample at nearest_rank(q, n). Input copied and sorted.
+double percentile_nearest_rank(std::vector<double> values, double q);
+
 /// Percentile of |values| of a matrix (used by magnitude sparsifiers).
 double abs_percentile(const MatrixD& m, double q);
+
+/// FNV-1a offset basis — start value for the digest fold below.
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+
+/// Folds one double's IEEE-754 bit pattern into an FNV-1a hash: the
+/// repo-wide digest convention (fab::RobustnessReport::digest, the bench
+/// train digests). Any single-bit difference in any folded value changes
+/// the hash, which is what the cross-ODONN_THREADS determinism checks in
+/// scripts/check.sh compare.
+std::uint64_t fnv1a_mix(std::uint64_t hash, double value);
 
 }  // namespace odonn

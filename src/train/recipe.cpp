@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cmath>
 
 #include "common/error.hpp"
-#include "roughness/report.hpp"
 
 namespace odonn::train {
 
@@ -34,131 +32,8 @@ RecipeKind parse_recipe(const std::string& name) {
 
 // run_recipe / run_table are defined in src/pipeline/recipe_runner.cpp —
 // thin compositions over pipeline stages; the dependency arrow points
-// pipeline -> train, never the reverse.
-
-// ---------------------------------------------------------------------------
-// Parity oracle: the pre-pipeline implementation, kept verbatim. Tests
-// compare run_recipe() (stage-based) against this path bit-for-bit.
-// ---------------------------------------------------------------------------
-
-namespace reference {
-
-namespace {
-
-struct RecipeFlags {
-  bool roughness = false;
-  bool intra = false;
-  bool sparsify = false;
-};
-
-RecipeFlags flags_for(RecipeKind kind) {
-  switch (kind) {
-    case RecipeKind::Baseline: return {false, false, false};
-    case RecipeKind::OursA: return {true, false, false};
-    case RecipeKind::OursB: return {false, false, true};
-    case RecipeKind::OursC: return {true, false, true};
-    case RecipeKind::OursD: return {true, true, true};
-  }
-  return {};
-}
-
-double overall_sparsity(const donn::DonnModel& model) {
-  if (!model.has_masks()) return 0.0;
-  double total = 0.0;
-  for (const auto& m : model.masks()) total += sparsify::sparsity_ratio(m);
-  return total / static_cast<double>(model.masks().size());
-}
-
-}  // namespace
-
-RecipeResult run_recipe_monolithic(RecipeKind kind,
-                                   const RecipeOptions& options,
-                                   const data::Dataset& train,
-                                   const data::Dataset& test) {
-  const RecipeFlags flags = flags_for(kind);
-  Rng rng(options.seed);
-  donn::DonnModel model(options.model, rng);
-
-  TrainOptions base;
-  base.batch_size = options.batch_size;
-  base.loss = options.loss;
-  base.seed = options.seed + 1;
-  base.verbose = options.verbose;
-  base.reg.roughness = options.roughness;
-  base.reg.intra = options.intra;
-  if (flags.roughness) base.reg.roughness_p = options.roughness_p;
-  if (flags.intra) base.reg.intra_q = options.intra_q;
-
-  // Phase 1: dense training (with the recipe's regularizers).
-  {
-    TrainOptions dense = base;
-    dense.epochs = options.epochs_dense;
-    dense.lr = options.lr_dense;
-    Trainer trainer(model, train, dense);
-    trainer.run();
-  }
-
-  // Phase 2: SLR block-sparsity training + hard prune + mask-frozen
-  // fine-tune (recipes B, C, D).
-  if (flags.sparsify) {
-    slr::SlrOptions slr_options = options.slr;
-    slr_options.scheme = options.scheme;
-    slr::SlrState slr_state(model.phases(), slr_options);
-    {
-      TrainOptions sparse = base;
-      sparse.epochs = options.epochs_sparse;
-      sparse.lr = options.lr_sparse;
-      sparse.slr = &slr_state;
-      Trainer trainer(model, train, sparse);
-      trainer.run();
-    }
-    model.set_masks(slr_state.masks());
-    if (options.epochs_finetune > 0) {
-      TrainOptions finetune = base;
-      finetune.epochs = options.epochs_finetune;
-      finetune.lr = options.lr_sparse;
-      Trainer trainer(model, train, finetune);
-      trainer.run();
-    }
-  }
-
-  RecipeResult result;
-  result.name = recipe_name(kind);
-  result.accuracy = evaluate_accuracy(model, test);
-  result.sparsity = overall_sparsity(model);
-
-  const auto before = roughness::report(model.phases(), options.roughness);
-  result.roughness_before = before.overall;
-  result.deployed_accuracy =
-      evaluate_deployed_accuracy(model, test, options.crosstalk);
-
-  // 2*pi periodic optimization (§III-D2) — post-processing, no retraining.
-  smooth2pi::TwoPiOptions two_pi = options.two_pi;
-  two_pi.roughness = options.roughness;
-  two_pi.seed = options.seed + 99;
-  const auto layer_results = smooth2pi::optimize_2pi_all(model.phases(), two_pi);
-  std::vector<MatrixD> smoothed;
-  smoothed.reserve(layer_results.size());
-  double after_sum = 0.0;
-  for (const auto& lr : layer_results) {
-    smoothed.push_back(lr.optimized);
-    after_sum += lr.roughness_after;
-  }
-  result.roughness_after = after_sum / static_cast<double>(layer_results.size());
-
-  // The smoothed masks are inference-equivalent in the ideal simulation but
-  // behave differently under the crosstalk deployment model.
-  result.trained_phases = model.phases();
-  result.smoothed_phases = smoothed;
-  donn::DonnModel smoothed_model = model;
-  smoothed_model.clear_masks();  // +2*pi pixels are no longer exact zeros
-  smoothed_model.set_phases(std::move(smoothed));
-  result.deployed_accuracy_after_2pi =
-      evaluate_deployed_accuracy(smoothed_model, test, options.crosstalk);
-
-  return result;
-}
-
-}  // namespace reference
+// pipeline -> train, never the reverse. (The pre-pipeline monolithic
+// implementation that used to live here as the parity oracle is gone; the
+// parity guard is now pipeline-vs-pipeline — see tests/pipeline_test.cpp.)
 
 }  // namespace odonn::train

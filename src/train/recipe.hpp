@@ -67,7 +67,9 @@ struct RecipeResult {
 /// Runs one recipe end to end on pre-resized train/test datasets.
 /// Implemented as a thin composition over pipeline::Pipeline stages in
 /// src/pipeline/recipe_runner.cpp (spec_for_recipe gives the per-recipe
-/// stage list); numerically identical to the monolithic path below.
+/// stage list). Parity is guarded by pipeline-vs-pipeline comparisons in
+/// tests/pipeline_test.cpp (the pre-pipeline monolithic oracle served its
+/// purpose for three PRs and was removed).
 RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
                         const data::Dataset& train, const data::Dataset& test);
 
@@ -75,16 +77,5 @@ RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
 std::vector<RecipeResult> run_table(const RecipeOptions& options,
                                     const data::Dataset& train,
                                     const data::Dataset& test);
-
-namespace reference {
-/// The pre-pipeline monolithic implementation, kept verbatim as the parity
-/// oracle: tests assert run_recipe() reproduces it bit-for-bit on a fixed
-/// seed. Not for production use — it bypasses the stage API (no
-/// checkpointing, observers or registry hand-off).
-RecipeResult run_recipe_monolithic(RecipeKind kind,
-                                   const RecipeOptions& options,
-                                   const data::Dataset& train,
-                                   const data::Dataset& test);
-}  // namespace reference
 
 }  // namespace odonn::train

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -39,15 +40,40 @@ struct SliceAccumulator {
   }
 };
 
+/// Reduction-slice count. FIXED (not thread_count()) so the accumulation
+/// layout — which samples share a partial sum, and the order partials are
+/// reduced in — is a pure function of the configuration: trained models
+/// are bitwise independent of ODONN_THREADS. 32 keeps every realistic pool
+/// busy while bounding the per-batch scratch to 32 gradient sets.
+constexpr std::size_t kGradientSlices = 32;
+
 }  // namespace
 
 Trainer::Trainer(donn::DonnModel& model, const data::Dataset& train,
                  const TrainOptions& options)
-    : model_(model), train_(train), options_(options), rng_(options.seed) {
+    : model_(model), train_(train), options_(options), rng_(options.seed),
+      realization_counter_(options.robust.counter_start) {
   check_dataset(model, train, "trainer");
   ODONN_CHECK(options.batch_size >= 1, "trainer: batch_size must be >= 1");
   ODONN_CHECK(!(options.slr && options.admm),
               "trainer: attach at most one compression state");
+  if (options.robust.stack != nullptr) {
+    ODONN_CHECK(options.robust.realizations >= 1,
+                "trainer: robust training needs at least one realization");
+    // Odd K — or resuming at an odd stream counter — would straddle pair
+    // boundaries across steps (the mirror of a step's last realization
+    // lands in the NEXT step, against different phases), silently
+    // degrading to plain sampling — reject instead.
+    ODONN_CHECK(!options.robust.antithetic ||
+                    options.robust.realizations % 2 == 0,
+                "trainer: antithetic robust training needs an even number "
+                "of realizations (or set antithetic=0)");
+    ODONN_CHECK(!options.robust.antithetic ||
+                    options.robust.counter_start % 2 == 0,
+                "trainer: antithetic robust training must resume at an "
+                "even realization counter (stream from a plain odd-K run "
+                "cannot be pair-aligned)");
+  }
   optimizer_ = make_optimizer(options.optimizer, options.lr);
 }
 
@@ -74,7 +100,17 @@ EpochStats Trainer::run_epoch() {
   std::iota(order.begin(), order.end(), 0);
   rng_.shuffle(order);
 
-  const std::size_t slices = std::max<std::size_t>(1, thread_count());
+  const bool robust = options_.robust.stack != nullptr;
+  const std::size_t realizations = robust ? options_.robust.realizations : 1;
+  // Slot layout: `realizations` blocks of `slices` reduction slices each.
+  // Both factors are pure functions of the configuration (kGradientSlices
+  // is a constant, never thread_count()), so partial-sum membership and
+  // reduction order — hence the trained model — are bitwise independent of
+  // ODONN_THREADS.
+  const std::size_t slices =
+      robust ? std::max<std::size_t>(1, kGradientSlices / realizations)
+             : kGradientSlices;
+  const std::size_t slots = realizations * slices;
   const std::size_t batches = (count + options_.batch_size - 1) / options_.batch_size;
   const std::size_t rounds = std::max<std::size_t>(1, options_.compress_rounds_per_epoch);
   const std::size_t round_every = std::max<std::size_t>(1, batches / rounds);
@@ -83,34 +119,91 @@ EpochStats Trainer::run_epoch() {
   std::size_t epoch_correct = 0;
   double last_surrogate = 0.0;
 
+  // Per-epoch resampling: the K noise streams are pinned at epoch start
+  // and re-applied to the evolving phases every batch; per-batch mode
+  // draws fresh streams each step.
+  std::uint64_t realization_base = realization_counter_;
+  if (robust && options_.robust.per_epoch) {
+    realization_counter_ += realizations;
+  }
+
   for (std::size_t batch = 0; batch < batches; ++batch) {
     const std::size_t begin = batch * options_.batch_size;
     const std::size_t end = std::min(count, begin + options_.batch_size);
     const std::size_t batch_count = end - begin;
 
-    SliceAccumulator acc(slices, model_);
-    parallel_for(0, slices, [&](std::size_t s) {
+    // Realize the K fabricated deployments of the CURRENT phases. Stream k
+    // is a pure function of (robust.seed, realization index), so the
+    // devices are reproducible, resume-safe via the counter, and safe to
+    // generate in parallel (each slot written exactly once).
+    std::vector<std::unique_ptr<donn::DonnModel>> realized;
+    if (robust) {
+      if (!options_.robust.per_epoch) {
+        realization_base = realization_counter_;
+        realization_counter_ += realizations;
+      }
+      realized.resize(realizations);
+      parallel_for(0, realizations, [&](std::size_t k) {
+        Rng stream = fab::realization_rng(
+            options_.robust.seed, realization_base + k,
+            options_.robust.antithetic);
+        realized[k] = std::make_unique<donn::DonnModel>(fab::realize_device(
+            model_, *options_.robust.stack, options_.robust.crosstalk,
+            options_.robust.deploy_crosstalk, stream));
+      });
+    }
+
+    // Robust mode encodes the batch once up front: the input field depends
+    // only on (sample, grid, encode), never the realization, so the K
+    // realization blocks share it instead of re-encoding K times. The
+    // clean path (K = 1, each sample visited once) keeps encoding inline
+    // to avoid holding a batch of fields at paper-scale grids.
+    std::vector<optics::Field> batch_inputs;
+    if (robust) {
+      batch_inputs.resize(batch_count);
+      parallel_for(0, batch_count, [&](std::size_t i) {
+        batch_inputs[i] = optics::encode_image(
+            epoch_data.image(order[begin + i]), model_.config().grid,
+            options_.encode);
+      });
+    }
+
+    SliceAccumulator acc(slots, model_);
+    parallel_for(0, slots, [&](std::size_t slot) {
+      // Gradients flow through the perturbed deployment but are applied to
+      // the clean phases below — the straight-through weight-noise-
+      // injection estimator of the expected fabricated loss.
+      const donn::DonnModel& net = robust ? *realized[slot / slices] : model_;
+      const std::size_t s = slot % slices;
       for (std::size_t i = begin + s; i < end; i += slices) {
         const std::size_t idx = order[i];
-        const optics::Field input = optics::encode_image(
-            epoch_data.image(idx), model_.config().grid, options_.encode);
-        const auto result = model_.forward_backward(
-            input, epoch_data.label(idx), acc.grads[s], options_.loss);
-        acc.losses[s] += result.loss;
-        if (result.predicted == epoch_data.label(idx)) ++acc.correct[s];
+        optics::Field encoded;
+        if (!robust) {
+          encoded = optics::encode_image(epoch_data.image(idx),
+                                         model_.config().grid,
+                                         options_.encode);
+        }
+        const optics::Field& input =
+            robust ? batch_inputs[i - begin] : encoded;
+        const auto result = net.forward_backward(
+            input, epoch_data.label(idx), acc.grads[slot], options_.loss);
+        acc.losses[slot] += result.loss;
+        if (result.predicted == epoch_data.label(idx)) ++acc.correct[slot];
       }
     });
 
-    // Reduce slices in index order (deterministic for a fixed thread count).
+    // Reduce slots in index order (realization-major; bitwise identical
+    // for any thread count).
     auto grads = std::move(acc.grads[0]);
     double batch_loss = acc.losses[0];
     std::size_t batch_correct = acc.correct[0];
-    for (std::size_t s = 1; s < slices; ++s) {
+    for (std::size_t s = 1; s < slots; ++s) {
       for (std::size_t l = 0; l < grads.size(); ++l) grads[l] += acc.grads[s][l];
       batch_loss += acc.losses[s];
       batch_correct += acc.correct[s];
     }
-    const double inv_batch = 1.0 / static_cast<double>(batch_count);
+    const double inv_batch =
+        1.0 / static_cast<double>(batch_count * realizations);
     for (auto& g : grads) g *= inv_batch;
 
     // Regularizers (functions of the weights, added once per batch).
@@ -165,9 +258,12 @@ EpochStats Trainer::run_epoch() {
   ++epoch_;
 
   EpochStats stats;
-  stats.data_loss = epoch_loss / static_cast<double>(count);
-  stats.train_accuracy =
-      static_cast<double>(epoch_correct) / static_cast<double>(count);
+  // In robust mode these are means over the K realizations as well: the
+  // expected fabricated loss / accuracy the optimizer actually descends.
+  stats.data_loss =
+      epoch_loss / static_cast<double>(count * realizations);
+  stats.train_accuracy = static_cast<double>(epoch_correct) /
+                         static_cast<double>(count * realizations);
   const auto& phases = model_.phases();
   for (const auto& phi : phases) {
     if (options_.reg.roughness_p > 0.0) {

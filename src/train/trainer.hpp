@@ -1,12 +1,25 @@
-// Mini-batch trainer for DonnModel with the paper's regularizers and the
-// SLR/ADMM compression hooks.
+// Mini-batch trainer for DonnModel with the paper's regularizers, the
+// SLR/ADMM compression hooks and noise-in-the-loop robust training.
 //
-// Per batch:  grad = (1/B) sum_samples dLoss/dphi            (batch-parallel)
+// Per batch:  grad = (1/(B*K)) sum_k sum_samples dLoss_k/dphi
+//             (K = 1 clean, K = robust.realizations fabricated devices)
 //           + p * dR(W)/dW + q * dR_intra(W)/dW              (Eq. 5 / Eq. 8)
 //           + dPenalty/dW from the SLR or ADMM state (if attached)
 // then masked-gradient zeroing (if sparsity masks are frozen), optimizer
 // step, and mask re-application. Compression rounds (Z-step + multiplier
 // updates) run a fixed number of times per epoch.
+//
+// Robust mode (RobustTrainOptions): each step samples K fabrication
+// realizations of the current device via counter-based fab streams, runs
+// forward/backward through the PERTURBED deployments and applies the
+// averaged gradient to the clean phases (the straight-through
+// weight-noise-injection estimator), so the optimizer descends the
+// EXPECTED fabricated loss instead of the clean loss.
+//
+// Determinism contract: gradient accumulation uses a FIXED number of
+// reduction slices (not the pool size), so for a given seed the trained
+// model is bitwise independent of ODONN_THREADS and of scheduling — the
+// same contract the Monte-Carlo evaluator gives for reports.
 //
 // Images are expected to be pre-resized to the optical grid (use
 // data::resize_dataset); encoding to a coherent field happens on the fly.
@@ -20,6 +33,7 @@
 #include "data/dataset.hpp"
 #include "donn/crosstalk.hpp"
 #include "donn/model.hpp"
+#include "fab/perturbation.hpp"
 #include "roughness/intra_block.hpp"
 #include "roughness/roughness.hpp"
 #include "slr/admm.hpp"
@@ -40,6 +54,40 @@ struct RegularizerOptions {
   roughness::IntraBlockOptions intra = {};
 };
 
+/// Noise-in-the-loop robust training: optimize the expected FABRICATED
+/// loss by sampling fabrication-variability realizations inside the
+/// training loop (complementing the Eq. 5/8 roughness regularizers, which
+/// only shape the clean masks). Enabled by a non-null perturbation stack.
+struct RobustTrainOptions {
+  /// Non-owning; non-null enables robust training. Must outlive the run.
+  const fab::PerturbationStack* stack = nullptr;
+  /// K: fabricated-device samples averaged into every gradient step.
+  std::size_t realizations = 2;
+  /// Mirrored realization pairs (fab::realization_rng): the pair mean
+  /// cancels the loss's linear response to the perturbation, reducing
+  /// gradient-estimator variance at equal K. Requires an even K (enforced
+  /// by the Trainer) so pairs never straddle a step boundary.
+  bool antithetic = true;
+  /// Sample the K noise draws once per EPOCH (re-applied to the evolving
+  /// phases every batch) instead of fresh draws per batch.
+  bool per_epoch = false;
+  /// Deploy each realization through the interpixel-crosstalk emulation.
+  /// For ADDITIVE noise (roughness GRF, detune, misalignment) the straight
+  /// -through gradient is an unbiased estimator of the expected fabricated
+  /// loss; through the roughness-gated crosstalk blur it acquires a bias
+  /// that can dominate the update (the blur rides on the injected GRF),
+  /// so the default trains through the noise only and leaves the full
+  /// deployment path to evaluation.
+  bool deploy_crosstalk = false;
+  donn::CrosstalkOptions crosstalk = {};
+  /// Base of the counter-based realization stream (independent of the
+  /// shuffle/augment/init streams).
+  std::uint64_t seed = 7;
+  /// Stream counter to start from: checkpointed runs persist
+  /// Trainer::realizations_sampled() and continue the identical stream.
+  std::uint64_t counter_start = 0;
+};
+
 struct TrainOptions {
   std::size_t epochs = 5;
   std::size_t batch_size = 200;  ///< paper batch size
@@ -58,13 +106,18 @@ struct TrainOptions {
   slr::SlrState* slr = nullptr;
   slr::AdmmState* admm = nullptr;
   std::size_t compress_rounds_per_epoch = 4;
+  /// Noise-in-the-loop robust training (stack != nullptr enables).
+  RobustTrainOptions robust = {};
   bool verbose = false;
 };
 
 struct EpochStats {
-  double data_loss = 0.0;      ///< mean per-sample loss
+  /// Mean per-sample loss; in robust mode the mean over samples AND the K
+  /// realizations — the expected fabricated loss being minimized.
+  double data_loss = 0.0;
   double reg_loss = 0.0;       ///< p*R + q*R_intra at epoch end
   double penalty_loss = 0.0;   ///< SLR/ADMM penalty at epoch end
+  /// Training accuracy; in robust mode the expected fabricated accuracy.
   double train_accuracy = 0.0;
 };
 
@@ -82,6 +135,12 @@ class Trainer {
 
   const TrainOptions& options() const { return options_; }
 
+  /// Total fabrication realizations drawn from the robust stream so far
+  /// (counter_start included). Serialize this to resume the stream: a
+  /// continuation run with counter_start = realizations_sampled() draws
+  /// exactly the realizations an uninterrupted run would have.
+  std::uint64_t realizations_sampled() const { return realization_counter_; }
+
  private:
   void compress_round(double surrogate_loss);
 
@@ -91,6 +150,7 @@ class Trainer {
   std::unique_ptr<Optimizer> optimizer_;
   Rng rng_;
   std::size_t epoch_ = 0;
+  std::uint64_t realization_counter_ = 0;
 };
 
 /// Test-set accuracy of a model (batch-parallel). Images must match the

@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
@@ -313,6 +314,42 @@ TEST(RealizationSeed, CounterBasedStreamsAreDistinct) {
   EXPECT_NE(realization_seed(7, 3), realization_seed(8, 3));
 }
 
+TEST(RealizationRng, PlainModeMatchesSeededStream) {
+  Rng via_helper = realization_rng(7, 5, /*antithetic=*/false);
+  Rng direct(realization_seed(7, 5));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(via_helper.next_u64(), direct.next_u64());
+}
+
+TEST(RealizationRng, AntitheticPairsShareSeedWithMirroredNormals) {
+  // Pair (2m, 2m+1) consumes the SAME uniform stream; the odd member's
+  // normal draws are exact sign flips.
+  Rng even = realization_rng(7, 4, /*antithetic=*/true);
+  Rng odd = realization_rng(7, 5, /*antithetic=*/true);
+  EXPECT_FALSE(even.antithetic());
+  EXPECT_TRUE(odd.antithetic());
+  for (int i = 0; i < 16; ++i) {
+    const double z = even.normal();
+    EXPECT_EQ(odd.normal(), -z);  // bitwise: negation is exact
+  }
+  // Distinct pairs draw from distinct seeds (realizations 4,5 -> pair 2;
+  // realizations 6,7 -> pair 3).
+  EXPECT_NE(realization_rng(7, 6, true).next_u64(),
+            realization_rng(7, 4, true).next_u64());
+}
+
+TEST(GaussianRandomField, AntitheticStreamYieldsExactMirrorField) {
+  // The GRF pipeline (white normals -> separable blur -> exact-RMS
+  // renormalization) commutes with negation in IEEE arithmetic, so the
+  // antithetic partner's field is the bitwise negation of the plain one.
+  Rng plain = realization_rng(11, 2, /*antithetic=*/true);   // even: plain
+  Rng mirror = realization_rng(11, 3, /*antithetic=*/true);  // odd: flipped
+  const MatrixD field = gaussian_random_field(32, 32, 2.0, plain);
+  const MatrixD anti = gaussian_random_field(32, 32, 2.0, mirror);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_EQ(anti[i], -field[i]) << "pixel " << i;
+  }
+}
+
 TEST(MonteCarloEvaluatorTest, RepeatedEvaluationIsBitwiseIdentical) {
   const McSetup setup = mc_setup();
   MonteCarloOptions options;
@@ -378,6 +415,83 @@ TEST(MonteCarloEvaluatorTest, CommonRandomNumbersAcrossVariants) {
             evaluator.evaluate("a", setup_a.model, stack).digest());
   EXPECT_EQ(paired[1].digest(),
             evaluator.evaluate("b", setup_b.model, stack).digest());
+}
+
+TEST(MonteCarloEvaluatorTest, AntitheticReportsAreDeterministicAndPaired) {
+  const McSetup setup = mc_setup(43);
+  MonteCarloOptions options;
+  options.realizations = 6;
+  options.antithetic = true;
+  const MonteCarloEvaluator evaluator(setup.eval, options);
+  const auto stack = parse_perturbation_stack("roughness(sigma_um=0.05)");
+
+  const auto report = evaluator.evaluate("m", setup.model, stack);
+  EXPECT_EQ(report.digest(), evaluator.evaluate("m", setup.model, stack).digest());
+
+  // Antithetic draws differ from the plain stream at equal (seed, R).
+  MonteCarloOptions plain = options;
+  plain.antithetic = false;
+  const MonteCarloEvaluator plain_eval(setup.eval, plain);
+  EXPECT_NE(plain_eval.evaluate("m", setup.model, stack).digest(),
+            report.digest());
+}
+
+TEST(MonteCarloEvaluatorTest, AntitheticLowersMeanEstimatorVariance) {
+  // The variance-reduction claim: across independent evaluator seeds, the
+  // spread of the R-realization mean-accuracy estimate is measurably
+  // smaller with antithetic pairs than with plain streams at equal R (the
+  // pair mean cancels the accuracy response's linear term in the noise).
+  const McSetup setup = mc_setup(47);
+  const auto stack = parse_perturbation_stack("roughness(sigma_um=0.06,corr=2)");
+
+  const auto estimator_variance = [&](bool antithetic) {
+    std::vector<double> means;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+      MonteCarloOptions options;
+      options.realizations = 8;
+      options.seed = seed * 101;
+      options.antithetic = antithetic;
+      const MonteCarloEvaluator evaluator(setup.eval, options);
+      means.push_back(evaluator.evaluate("m", setup.model, stack).mean);
+    }
+    double mu = 0.0;
+    for (const double m : means) mu += m;
+    mu /= static_cast<double>(means.size());
+    double var = 0.0;
+    for (const double m : means) var += (m - mu) * (m - mu);
+    return var / static_cast<double>(means.size());
+  };
+
+  const double var_plain = estimator_variance(false);
+  const double var_anti = estimator_variance(true);
+  EXPECT_LT(var_anti, var_plain)
+      << "plain " << var_plain << " vs antithetic " << var_anti;
+}
+
+TEST(MonteCarloEvaluatorTest, ConcurrentEvaluatesOnOneInstanceAreSafe) {
+  // The encoding cache is shared across evaluate() calls; two concurrent
+  // evaluations of one evaluator must neither race on it nor change any
+  // result (regression: the cache used to be rebuilt unguarded inside the
+  // const call).
+  const McSetup setup_a = mc_setup(53);
+  const McSetup setup_b = mc_setup(59);
+  MonteCarloOptions options;
+  options.realizations = 4;
+  const MonteCarloEvaluator evaluator(setup_a.eval, options);
+  const auto stack = parse_perturbation_stack(kDefaultPerturbationSpec);
+
+  const auto expected_a = evaluator.evaluate("a", setup_a.model, stack);
+  const auto expected_b = evaluator.evaluate("b", setup_b.model, stack);
+
+  for (int round = 0; round < 4; ++round) {
+    RobustnessReport got_a, got_b;
+    std::thread ta([&] { got_a = evaluator.evaluate("a", setup_a.model, stack); });
+    std::thread tb([&] { got_b = evaluator.evaluate("b", setup_b.model, stack); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(got_a.digest(), expected_a.digest());
+    EXPECT_EQ(got_b.digest(), expected_b.digest());
+  }
 }
 
 TEST(MonteCarloEvaluatorTest, RejectsGridMismatchAndEmptyConfig) {

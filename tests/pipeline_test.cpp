@@ -1,6 +1,7 @@
-// Pipeline API tests: stage-parity with the monolithic recipe oracle
-// (bit-for-bit), declarative construction, validation, checkpoint resume,
-// and the PublishStage -> ModelRegistry -> InferenceEngine hand-off.
+// Pipeline API tests: recipe parity (run_recipe vs an explicitly composed
+// pipeline, live vs checkpoint-restored — bit-for-bit), declarative
+// construction, validation, checkpoint resume, robust training stage, and
+// the PublishStage -> ModelRegistry -> InferenceEngine hand-off.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -80,28 +81,74 @@ void expect_bit_identical(const train::RecipeResult& lhs,
 
 // ------------------------------------------------------------- parity
 
-TEST(StageParity, OursDMatchesMonolithicRecipeBitForBit) {
-  // The acceptance bar for the refactor: the pipeline-built Ours-D (the
-  // recipe exercising every stage: regularized training, SLR
-  // sparsification, fine-tune, report, 2*pi smoothing, deployment eval)
-  // reproduces the pre-refactor monolithic path exactly on a fixed seed.
-  const TinySetup setup = tiny_setup();
-  const auto via_pipeline = train::run_recipe(
-      train::RecipeKind::OursD, setup.options, setup.train, setup.test);
-  const auto via_monolith = train::reference::run_recipe_monolithic(
-      train::RecipeKind::OursD, setup.options, setup.train, setup.test);
-  expect_bit_identical(via_pipeline, via_monolith);
-  EXPECT_GT(via_pipeline.sparsity, 0.0);
+/// run_recipe's RecipeResult assembled from an explicitly composed
+/// pipeline run (the spec built by hand from spec_for_recipe), optionally
+/// checkpointing every stage and — when `resume_dir` is non-empty —
+/// re-running from those checkpoints into a fresh store first.
+train::RecipeResult recipe_via_explicit_pipeline(
+    train::RecipeKind kind, const TinySetup& setup,
+    const std::string& checkpoint_dir = "", bool resume = false) {
+  ArtifactStore store;
+  store.set_data(&setup.train, &setup.test);
+  Pipeline pipe = build_pipeline(spec_for_recipe(kind), setup.options);
+  RunOptions run_options;
+  run_options.checkpoint_dir = checkpoint_dir;
+  run_options.resume = resume;
+  pipe.run(store, run_options);
+
+  train::RecipeResult result;
+  result.name = train::recipe_name(kind);
+  result.accuracy = store.metric(artifacts::kAccuracy);
+  result.roughness_before = store.metric(artifacts::kRoughnessBefore);
+  result.roughness_after = store.metric(artifacts::kRoughnessAfter);
+  result.deployed_accuracy = store.metric(artifacts::kDeployedAccuracy);
+  result.deployed_accuracy_after_2pi =
+      store.metric(artifacts::kDeployedAccuracyAfter2Pi);
+  result.sparsity = store.metric(artifacts::kSparsity);
+  result.trained_phases = store.model(artifacts::kMainModel).phases();
+  result.smoothed_phases = store.model(artifacts::kSmoothedModel).phases();
+  return result;
 }
 
-TEST(StageParity, BaselineMatchesMonolithicRecipeBitForBit) {
+TEST(StageParity, OursDPipelineVsCheckpointedPipelineBitForBit) {
+  // The parity bar, pipeline-vs-pipeline (the monolithic oracle is gone):
+  // run_recipe's composition of Ours-D — the recipe exercising every stage:
+  // regularized training, SLR sparsification, fine-tune, report, 2*pi
+  // smoothing, deployment eval — must reproduce (a) an explicitly composed
+  // pipeline run bit-for-bit, and (b) the same pipeline when every stage is
+  // checkpointed to disk and the whole run is then satisfied purely from
+  // those checkpoints (donn/serialize round-trips doubles exactly).
+  const TinySetup setup = tiny_setup();
+  const auto via_recipe = train::run_recipe(
+      train::RecipeKind::OursD, setup.options, setup.train, setup.test);
+
+  const std::string dir = temp_dir("parity_ours_d");
+  const auto via_pipeline =
+      recipe_via_explicit_pipeline(train::RecipeKind::OursD, setup, dir);
+  expect_bit_identical(via_recipe, via_pipeline);
+  EXPECT_GT(via_recipe.sparsity, 0.0);
+
+  const auto via_checkpoints = recipe_via_explicit_pipeline(
+      train::RecipeKind::OursD, setup, dir, /*resume=*/true);
+  expect_bit_identical(via_pipeline, via_checkpoints);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StageParity, BaselinePipelineVsCheckpointedPipelineBitForBit) {
   const TinySetup setup = tiny_setup(47);
-  const auto via_pipeline = train::run_recipe(
+  const auto via_recipe = train::run_recipe(
       train::RecipeKind::Baseline, setup.options, setup.train, setup.test);
-  const auto via_monolith = train::reference::run_recipe_monolithic(
-      train::RecipeKind::Baseline, setup.options, setup.train, setup.test);
-  expect_bit_identical(via_pipeline, via_monolith);
-  EXPECT_EQ(via_pipeline.sparsity, 0.0);
+
+  const std::string dir = temp_dir("parity_baseline");
+  const auto via_pipeline =
+      recipe_via_explicit_pipeline(train::RecipeKind::Baseline, setup, dir);
+  expect_bit_identical(via_recipe, via_pipeline);
+  EXPECT_EQ(via_recipe.sparsity, 0.0);
+
+  const auto via_checkpoints = recipe_via_explicit_pipeline(
+      train::RecipeKind::Baseline, setup, dir, /*resume=*/true);
+  expect_bit_identical(via_pipeline, via_checkpoints);
+  std::filesystem::remove_all(dir);
 }
 
 // ------------------------------------------------------ spec / parser
@@ -500,6 +547,90 @@ TEST(RobustStage, CheckpointResumeReproducesTheIdenticalReport) {
             reference.metric(artifacts::kRobustMean));
   EXPECT_EQ(rerun.metric(artifacts::kRobustYield),
             reference.metric(artifacts::kRobustYield));
+  std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------- robust_train stage
+
+TEST(RobustTrainStage, ConfigMapsTrainToRobustTrainAndCountsRealizations) {
+  // robust_train=1 swaps every train stage for robust_train; the stage
+  // trains noise-in-the-loop and records the sampled-realization counter
+  // as a metric.
+  const TinySetup setup = tiny_setup(101);
+  const char* argv[] = {"prog",
+                        "pipeline=train,smooth,eval",
+                        "robust_train=1",
+                        "train_realizations=2",
+                        "train_warmup=0",
+                        "perturb=roughness(sigma_um=0.04,corr=2)"};
+  const Config cfg = Config::from_args(6, argv);
+  cfg.strict(config_keys());
+  const PipelineSpec spec = spec_from_config(cfg);
+  ASSERT_EQ(spec.stages.front(), StageKind::RobustTrain);
+
+  BuildContext context;
+  context.robust_train = robust_train_options_from_config(cfg);
+  ASSERT_EQ(context.robust_train.realizations, 2u);
+  ASSERT_EQ(context.robust_train.warmup_epochs, 0);
+
+  ArtifactStore store;
+  store.set_data(&setup.train, &setup.test);
+  build_pipeline(spec, setup.options, context).run(store);
+
+  EXPECT_TRUE(store.has_model(artifacts::kMainModel));
+  EXPECT_TRUE(store.has_metric(artifacts::kAccuracy));
+  ASSERT_TRUE(store.has_metric(artifacts::kRobustTrainRealizations));
+  // 120 train samples / batch 25 -> 5 batches; 1 epoch x K=2 per batch.
+  EXPECT_EQ(store.metric(artifacts::kRobustTrainRealizations), 10.0);
+}
+
+TEST(RobustTrainStage, CheckpointResumeAndStreamContinuation) {
+  const TinySetup setup = tiny_setup(103);
+  const char* argv[] = {"prog", "pipeline=robust_train,smooth,eval",
+                        "train_realizations=2", "train_warmup=0"};
+  const Config cfg = Config::from_args(4, argv);
+  cfg.strict(config_keys());
+  const PipelineSpec spec = spec_from_config(cfg);
+  BuildContext context;
+  context.robust_train = robust_train_options_from_config(cfg);
+
+  const std::string dir = temp_dir("pipeline_robust_train_resume");
+  RunOptions checkpointed;
+  checkpointed.checkpoint_dir = dir;
+
+  ArtifactStore reference;
+  reference.set_data(&setup.train, &setup.test);
+  build_pipeline(spec, setup.options, context).run(reference, checkpointed);
+  ASSERT_TRUE(reference.has_metric(artifacts::kRobustTrainRealizations));
+  const double counter =
+      reference.metric(artifacts::kRobustTrainRealizations);
+  EXPECT_EQ(counter, 10.0);  // 5 batches x K=2, one epoch
+
+  // Resume: every stage satisfied from checkpoints, counter and model
+  // restored bit-for-bit.
+  ArtifactStore resumed;
+  resumed.set_data(&setup.train, &setup.test);
+  RunOptions resume = checkpointed;
+  resume.resume = true;
+  const auto timings =
+      build_pipeline(spec, setup.options, context).run(resumed, resume);
+  for (const auto& timing : timings) EXPECT_TRUE(timing.skipped);
+  EXPECT_EQ(resumed.metric(artifacts::kRobustTrainRealizations), counter);
+  EXPECT_EQ(resumed.metric(artifacts::kAccuracy),
+            reference.metric(artifacts::kAccuracy));
+  for (std::size_t l = 0; l < setup.options.model.num_layers; ++l) {
+    EXPECT_EQ(
+        max_abs_diff(resumed.model(artifacts::kMainModel).phases()[l],
+                     reference.model(artifacts::kMainModel).phases()[l]),
+        0.0);
+  }
+
+  // Training FURTHER on the restored store continues the realization
+  // stream where the checkpoint left off instead of replaying it.
+  const PipelineSpec train_only{{StageKind::RobustTrain}, {}};
+  build_pipeline(train_only, setup.options, context).run(resumed);
+  EXPECT_EQ(resumed.metric(artifacts::kRobustTrainRealizations),
+            2.0 * counter);
   std::filesystem::remove_all(dir);
 }
 

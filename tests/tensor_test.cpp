@@ -90,6 +90,40 @@ TEST(Stats, PercentileMatchesNumpyConvention) {
   EXPECT_THROW(percentile({1.0}, 101.0), Error);
 }
 
+TEST(Stats, NearestRankBoundaryRanks) {
+  // The repo-wide nearest-rank rule (serve latency percentiles and fab
+  // robustness percentiles both route through this): rank = ceil(q*n),
+  // 1-based, clamped to [1, n].
+  EXPECT_EQ(nearest_rank(0.0, 5), 1u);   // q=0 -> the minimum
+  EXPECT_EQ(nearest_rank(1.0, 5), 5u);   // q=1 -> the maximum
+  EXPECT_EQ(nearest_rank(0.5, 4), 2u);   // q*n integral (exact double)
+  EXPECT_EQ(nearest_rank(0.25, 4), 1u);  // q*n == 1 exactly
+  EXPECT_EQ(nearest_rank(0.5, 5), 3u);   // interior: ceil(2.5)
+  EXPECT_EQ(nearest_rank(0.95, 4), 4u);  // interior: ceil(3.8)
+  for (double q : {0.0, 0.3, 0.5, 1.0}) {
+    EXPECT_EQ(nearest_rank(q, 1), 1u);  // n=1: every quantile is the sample
+  }
+  // Regression: q*n integral in exact arithmetic but one ulp HIGH in
+  // doubles (0.05 * 20 == 1.0000000000000002) must not skip to rank 2 —
+  // the bug the old fab implementation papered over with a +0.999999 ceil.
+  EXPECT_EQ(nearest_rank(0.05, 20), 1u);
+  EXPECT_EQ(nearest_rank(0.15, 20), 3u);
+  EXPECT_THROW(nearest_rank(0.5, 0), Error);
+  EXPECT_THROW(nearest_rank(-0.1, 4), Error);
+  EXPECT_THROW(nearest_rank(1.1, 4), Error);
+}
+
+TEST(Stats, PercentileNearestRankSelectsSortedSample) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 0.51), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.5}, 0.0), 7.5);
+  EXPECT_THROW(percentile_nearest_rank({}, 0.5), Error);
+}
+
 TEST(Stats, AbsPercentile) {
   MatrixD m = {{-4.0, 1.0}, {2.0, -3.0}};
   EXPECT_DOUBLE_EQ(abs_percentile(m, 100.0), 4.0);

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
 #include "donn/model.hpp"
+#include "fab/spec.hpp"
 #include "roughness/report.hpp"
 #include "train/metrics.hpp"
 #include "train/optim.hpp"
@@ -310,6 +311,99 @@ TEST(Trainer, AugmentationTrainsAndGeneralizes) {
   for (const auto& st : history) EXPECT_TRUE(std::isfinite(st.data_loss));
   const auto test_set = halves_dataset(cfg.grid.n, 40, 10);
   EXPECT_GT(evaluate_accuracy(model, test_set), 0.8);
+}
+
+TEST(Trainer, RobustTrainingCountsRealizationsAndIsBitwiseDeterministic) {
+  const auto cfg = tiny_config(16);
+  const auto train_set = halves_dataset(cfg.grid.n, 60, 11);
+  const auto stack =
+      fab::parse_perturbation_stack("roughness(sigma_um=0.04,corr=2)");
+
+  const auto run_robust = [&](bool per_epoch, std::uint64_t counter_start) {
+    Rng rng(23);
+    donn::DonnModel model(cfg, rng);
+    TrainOptions opt;
+    opt.epochs = 2;
+    opt.batch_size = 20;  // 60 samples -> 3 batches per epoch
+    opt.lr = 0.05;
+    opt.robust.stack = &stack;
+    opt.robust.realizations = 2;
+    opt.robust.per_epoch = per_epoch;
+    opt.robust.counter_start = counter_start;
+    Trainer trainer(model, train_set, opt);
+    const auto history = trainer.run();
+    for (const auto& st : history) EXPECT_TRUE(std::isfinite(st.data_loss));
+    return std::pair(trainer.realizations_sampled(), model.phases());
+  };
+
+  // Per-batch sampling: 2 epochs x 3 batches x K=2; per-epoch: 2 x K.
+  const auto [per_batch_count, phases_a] = run_robust(false, 0);
+  EXPECT_EQ(per_batch_count, 12u);
+  const auto [per_epoch_count, phases_b] = run_robust(true, 0);
+  EXPECT_EQ(per_epoch_count, 4u);
+  // The two sampling cadences draw different streams -> different models.
+  EXPECT_GT(max_abs_diff(phases_a[0], phases_b[0]), 0.0);
+
+  // counter_start shifts the stream (resume contract) and is included in
+  // the total.
+  const auto [resumed_count, phases_c] = run_robust(false, 12);
+  EXPECT_EQ(resumed_count, 24u);
+  EXPECT_GT(max_abs_diff(phases_a[0], phases_c[0]), 0.0);
+
+  // Bitwise determinism: identical options reproduce identical phases.
+  const auto [replay_count, phases_replay] = run_robust(false, 0);
+  EXPECT_EQ(replay_count, per_batch_count);
+  for (std::size_t l = 0; l < phases_a.size(); ++l) {
+    EXPECT_EQ(max_abs_diff(phases_a[l], phases_replay[l]), 0.0);
+  }
+}
+
+TEST(Trainer, RobustTrainingLearnsUnderFabricationNoise) {
+  // Noise-in-the-loop training on the separable task still learns it: the
+  // expected-fabricated-loss objective is a usable training signal, and
+  // the reported stats are the perturbed (not clean) quantities.
+  const auto cfg = tiny_config(16);
+  Rng rng(29);
+  donn::DonnModel model(cfg, rng);
+  const auto train_set = halves_dataset(cfg.grid.n, 80, 13);
+  const auto test_set = halves_dataset(cfg.grid.n, 40, 14);
+  const auto stack =
+      fab::parse_perturbation_stack("roughness(sigma_um=0.03,corr=2)+misalign");
+
+  TrainOptions opt;
+  opt.epochs = 4;
+  opt.batch_size = 20;
+  opt.lr = 0.2;
+  opt.robust.stack = &stack;
+  opt.robust.realizations = 2;
+  Trainer trainer(model, train_set, opt);
+  const auto history = trainer.run();
+  ASSERT_EQ(history.size(), 4u);
+  for (const auto& st : history) {
+    EXPECT_TRUE(std::isfinite(st.data_loss));
+    EXPECT_GE(st.train_accuracy, 0.0);
+    EXPECT_LE(st.train_accuracy, 1.0);
+  }
+  EXPECT_GT(evaluate_accuracy(model, test_set), 0.8);
+}
+
+TEST(Trainer, RobustTrainingRejectsZeroAndOddAntitheticRealizations) {
+  const auto cfg = tiny_config(16);
+  Rng rng(31);
+  donn::DonnModel model(cfg, rng);
+  const auto train_set = halves_dataset(cfg.grid.n, 20, 15);
+  const auto stack = fab::parse_perturbation_stack("quantize(levels=8)");
+  TrainOptions opt;
+  opt.robust.stack = &stack;
+  opt.robust.realizations = 0;
+  EXPECT_THROW(Trainer(model, train_set, opt), Error);
+  // Odd K with antithetic pairing would straddle pair boundaries across
+  // steps (silent plain sampling) — rejected up front.
+  opt.robust.realizations = 3;
+  opt.robust.antithetic = true;
+  EXPECT_THROW(Trainer(model, train_set, opt), Error);
+  opt.robust.antithetic = false;
+  EXPECT_NO_THROW(Trainer(model, train_set, opt));
 }
 
 TEST(Recipe, ParseAndNames) {
