@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "data/transform.hpp"
+#include "tensor/stats.hpp"
 
 namespace odonn::bench {
 
@@ -27,6 +29,12 @@ const char* scale_name(Scale scale) {
 
 std::vector<std::string> bench_config_keys() {
   return {"bench.scale", "grid", "samples", "seed", "format"};
+}
+
+std::vector<std::string> parallel_bench_config_keys() {
+  std::vector<std::string> keys = bench_config_keys();
+  keys.emplace_back("jobs");
+  return keys;
 }
 
 BenchConfig make_bench_config(const Config& cfg) {
@@ -59,6 +67,11 @@ BenchConfig make_bench_config(const Config& cfg) {
   bc.samples = static_cast<std::size_t>(
       cfg.get_int("samples", static_cast<long>(bc.samples)));
   bc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  const long jobs = cfg.get_int("jobs", 1);
+  if (jobs < 1 || jobs > 64) {
+    throw ConfigError("jobs must be in [1, 64]");
+  }
+  bc.jobs = static_cast<std::size_t>(jobs);
   return bc;
 }
 
@@ -135,6 +148,21 @@ bool shape_check(bool pass, const std::string& description) {
   return pass;
 }
 
+std::uint64_t phases_digest(const std::vector<MatrixD>& phases) {
+  std::uint64_t hash = kFnv1aBasis;
+  for (const MatrixD& phase : phases) {
+    for (const double value : phase) hash = fnv1a_mix(hash, value);
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
 // ------------------------------------------------------- table registry
 
 const std::vector<TableSpec>& all_table_specs() {
@@ -183,19 +211,14 @@ OutputFormat parse_format(const Config& cfg) {
 
 namespace {
 
-struct TimedRow {
-  train::RecipeResult result;
-  double seconds = 0.0;
-};
-
-int table_shape_checks(const std::vector<TimedRow>& rows,
+int table_shape_checks(const std::vector<train::RecipeResult>& rows,
                        const BenchConfig& cfg, bool print) {
   // Shape checks: the paper's qualitative claims on this table.
-  const auto& base = rows[0].result;
-  const auto& a = rows[1].result;
-  const auto& b = rows[2].result;
-  const auto& c = rows[3].result;
-  const auto& d = rows[4].result;
+  const auto& base = rows[0];
+  const auto& a = rows[1];
+  const auto& b = rows[2];
+  const auto& c = rows[3];
+  const auto& d = rows[4];
   struct Check {
     bool pass;
     const char* description;
@@ -236,14 +259,14 @@ int table_shape_checks(const std::vector<TimedRow>& rows,
 }
 
 void print_table_text(const TableSpec& spec, const BenchConfig& cfg,
-                      const std::vector<TimedRow>& rows) {
+                      const std::vector<train::RecipeResult>& rows) {
   std::printf("=== %s ===\n", spec.title);
   std::printf("scale=%s grid=%zu samples=%zu epochs=%zu+%zu+%zu block=%zu "
-              "(paper block %zu on 200) sparsity=0.1 seed=%llu\n",
+              "(paper block %zu on 200) sparsity=0.1 seed=%llu jobs=%zu\n",
               scale_name(cfg.scale), cfg.grid, cfg.samples, cfg.epochs_dense,
               cfg.epochs_sparse, cfg.epochs_finetune,
               cfg.scaled_block(spec.paper_block), spec.paper_block,
-              static_cast<unsigned long long>(cfg.seed));
+              static_cast<unsigned long long>(cfg.seed), cfg.jobs);
   std::printf("note: measured numbers come from a CPU-sized synthetic rerun; "
               "compare SHAPE, not absolutes (DESIGN.md 2).\n\n");
 
@@ -252,7 +275,7 @@ void print_table_text(const TableSpec& spec, const BenchConfig& cfg,
   std::printf("%-10s | %10s %10s | %12s %12s | %12s %12s\n", "", "paper",
               "measured", "paper", "measured", "paper", "measured");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& m = rows[i].result;
+    const auto& m = rows[i];
     const auto& p = spec.paper[i];
     char after_paper[32];
     if (p.r_after < 0.0) {
@@ -267,30 +290,39 @@ void print_table_text(const TableSpec& spec, const BenchConfig& cfg,
 }
 
 void print_table_json(const TableSpec& spec, const BenchConfig& cfg,
-                      const std::vector<TimedRow>& rows, int failures) {
+                      const std::vector<train::RecipeResult>& rows,
+                      int failures, double wall_seconds) {
   // Same perf-record convention as bench/serve_throughput.cpp: one JSON
   // document on stdout, suitable for diffing a trajectory across PRs.
+  // Each row carries FNV digests of the trained and 2*pi-smoothed phase
+  // bits: scripts/check.sh compares them across ODONN_THREADS=1 vs 4 and
+  // across jobs=1 vs 4 (the parallel-executor determinism contract).
   std::printf("{\"bench\": %s, \"scale\": %s, \"grid\": %zu, "
               "\"samples\": %zu, \"seed\": %llu, \"block\": %zu, "
+              "\"jobs\": %zu, \"wall_seconds\": %s, "
               "\"failures\": %d,\n \"rows\": [\n",
               json_quote(spec.id).c_str(),
               json_quote(scale_name(cfg.scale)).c_str(), cfg.grid,
               cfg.samples, static_cast<unsigned long long>(cfg.seed),
-              cfg.scaled_block(spec.paper_block), failures);
+              cfg.scaled_block(spec.paper_block), cfg.jobs,
+              json_number(wall_seconds).c_str(), failures);
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& r = rows[i].result;
+    const auto& r = rows[i];
     std::printf("  {\"model\": %s, \"accuracy\": %s, "
                 "\"roughness_before\": %s, \"roughness_after\": %s, "
                 "\"deployed_accuracy\": %s, "
                 "\"deployed_accuracy_after_2pi\": %s, \"sparsity\": %s, "
-                "\"seconds\": %s}%s\n",
+                "\"seconds\": %s, \"train_digest\": %s, "
+                "\"smoothed_digest\": %s}%s\n",
                 json_quote(r.name).c_str(), json_number(r.accuracy).c_str(),
                 json_number(r.roughness_before).c_str(),
                 json_number(r.roughness_after).c_str(),
                 json_number(r.deployed_accuracy).c_str(),
                 json_number(r.deployed_accuracy_after_2pi).c_str(),
                 json_number(r.sparsity).c_str(),
-                json_number(rows[i].seconds).c_str(),
+                json_number(r.seconds).c_str(),
+                json_quote(hex64(phases_digest(r.trained_phases))).c_str(),
+                json_quote(hex64(phases_digest(r.smoothed_phases))).c_str(),
                 i + 1 < rows.size() ? "," : "");
   }
   std::printf("]}\n");
@@ -304,25 +336,23 @@ int run_table_bench(const TableSpec& spec, const BenchConfig& cfg,
   const auto opt = recipe_options(cfg, spec.paper_block);
   const auto dataset = prepare_dataset(spec.family, cfg);
 
+  // The five recipes run through the parallel executor: jobs= of them in
+  // flight, each over its own store. Rows (and their digests) are bitwise
+  // identical to jobs=1; only wall_seconds moves.
+  train::TableRunOptions table;
+  table.jobs = cfg.jobs;
   using Clock = std::chrono::steady_clock;
-  std::vector<TimedRow> rows;
-  rows.reserve(5);
-  for (train::RecipeKind kind :
-       {train::RecipeKind::Baseline, train::RecipeKind::OursA,
-        train::RecipeKind::OursB, train::RecipeKind::OursC,
-        train::RecipeKind::OursD}) {
-    const Clock::time_point t0 = Clock::now();
-    TimedRow row;
-    row.result = train::run_recipe(kind, opt, dataset.train, dataset.test);
-    row.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
-    rows.push_back(std::move(row));
-  }
+  const Clock::time_point t0 = Clock::now();
+  const std::vector<train::RecipeResult> rows =
+      train::run_table(opt, dataset.train, dataset.test, table);
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
 
   if (text) print_table_text(spec, cfg, rows);
   const int failures = table_shape_checks(rows, cfg, text);
   if (text) {
-    const auto& base = rows[0].result;
-    const auto& c = rows[3].result;
+    const auto& base = rows[0];
+    const auto& c = rows[3];
     const double reduction = 1.0 - c.roughness_after / base.roughness_before;
     std::printf("\nOurs-C roughness reduction vs baseline: %.1f%% "
                 "(paper reports 27-36%% across datasets)\n",
@@ -331,17 +361,19 @@ int run_table_bench(const TableSpec& spec, const BenchConfig& cfg,
                 "Ours-C %.2f%% -> %.2f%% (after 2pi)\n",
                 100.0 * base.accuracy, 100.0 * base.deployed_accuracy,
                 100.0 * c.accuracy, 100.0 * c.deployed_accuracy_after_2pi);
+    std::printf("table wall-clock: %.3fs (jobs=%zu, threads=%zu)\n",
+                wall_seconds, cfg.jobs, thread_count());
     std::printf("%d shape-check failure(s)\n\n", failures);
   }
   if (format != OutputFormat::Text) {
-    print_table_json(spec, cfg, rows, failures);
+    print_table_json(spec, cfg, rows, failures, wall_seconds);
   }
   return failures;
 }
 
 int run_table_bench(const TableSpec& spec, int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
-  cfg.strict(bench_config_keys());
+  cfg.strict(parallel_bench_config_keys());
   return run_table_bench(spec, make_bench_config(cfg), parse_format(cfg));
 }
 

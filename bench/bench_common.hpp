@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,12 +34,15 @@ struct BenchConfig {
   std::size_t batch = 100;
   std::size_t two_pi_iterations = 2500;
   std::uint64_t seed = 7;
+  /// Concurrent recipes per table/sweep (train::TableRunOptions::jobs).
+  /// Rows are bitwise independent of this — it only moves wall-clock.
+  std::size_t jobs = 1;
 
   /// Scales a paper block size (given on the 200-grid) to this grid.
   std::size_t scaled_block(std::size_t paper_block) const;
 };
 
-/// Reads bench.scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples=.
+/// Reads bench.scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples=, jobs=.
 BenchConfig make_bench_config(const Config& cfg);
 
 /// from_args + strict key validation (bench_config_keys) + the above.
@@ -47,6 +51,12 @@ BenchConfig make_bench_config(int argc, char** argv);
 /// Keys every bench accepts (for Config::strict; benches with extra keys
 /// append their own before validating).
 std::vector<std::string> bench_config_keys();
+
+/// bench_config_keys + jobs= — for the benches that actually route work
+/// through the parallel executor (tables, fig6, table_parallel). Benches
+/// that run recipes directly keep REJECTING jobs= rather than silently
+/// ignoring it (the Config::strict contract).
+std::vector<std::string> parallel_bench_config_keys();
 
 const char* scale_name(Scale scale);
 
@@ -107,5 +117,14 @@ bool shape_check(bool pass, const std::string& description);
 /// Locale-independent; non-finite numbers become null.
 std::string json_quote(const std::string& text);
 std::string json_number(double value);
+
+/// FNV-1a over the IEEE-754 bits of every pixel of every layer (the shared
+/// odonn::fnv1a_mix fold): two phase stacks are bitwise identical iff the
+/// digests match. What the cross-ODONN_THREADS / cross-jobs= table
+/// comparisons in scripts/check.sh diff.
+std::uint64_t phases_digest(const std::vector<MatrixD>& phases);
+
+/// 16-hex-digit rendering for JSON digest fields.
+std::string hex64(std::uint64_t value);
 
 }  // namespace odonn::bench

@@ -4,9 +4,12 @@
 //   (c) roughness-regularization (p) sweep     — paper: inflection at 0.1
 //   (d) intra-block regularization (q) sweep   — paper: inflection at log q=1
 // Series are printed and also written to bench_out/fig6/*.csv.
+// jobs=N trains N sweep points concurrently (train::run_recipes over the
+// parallel executor); series are bitwise independent of jobs=.
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 
 #include "bench_common.hpp"
 #include "io/csv.hpp"
@@ -20,6 +23,31 @@ struct SweepPoint {
   double accuracy;
   double roughness;
 };
+
+/// One sweep: `values` variants of `kind`, each with `set(options, value)`
+/// applied, run through the parallel executor (jobs= concurrent) and
+/// zipped back into SweepPoints keyed by the swept value.
+std::vector<SweepPoint> run_sweep(
+    train::RecipeKind kind, const train::RecipeOptions& base,
+    const std::vector<double>& values,
+    const std::function<void(train::RecipeOptions&, double)>& set,
+    const data::Dataset& train_set, const data::Dataset& test_set,
+    const train::TableRunOptions& table) {
+  std::vector<train::RecipeRequest> requests;
+  requests.reserve(values.size());
+  for (const double value : values) {
+    train::RecipeRequest request{kind, base, ""};
+    set(request.options, value);
+    requests.push_back(std::move(request));
+  }
+  const auto rows = train::run_recipes(requests, train_set, test_set, table);
+  std::vector<SweepPoint> series;
+  series.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    series.push_back({values[i], rows[i].accuracy, rows[i].roughness_before});
+  }
+  return series;
+}
 
 void print_series(const char* title, const char* xlabel,
                   const std::vector<SweepPoint>& points,
@@ -36,7 +64,9 @@ void print_series(const char* title, const char* xlabel,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto cfg = bench::make_bench_config(argc, argv);
+  const Config cli = Config::from_args(argc, argv);
+  cli.strict(bench::parallel_bench_config_keys());
+  auto cfg = bench::make_bench_config(cli);
   // Sweeps multiply training runs; shrink each run relative to the tables.
   if (cfg.scale == bench::Scale::Default) {
     cfg.samples = std::min<std::size_t>(cfg.samples, 1200);
@@ -52,16 +82,19 @@ int main(int argc, char** argv) {
 
   int failures = 0;
 
+  // Sweep points are independent training runs: jobs= of them execute
+  // concurrently through the parallel executor (results are bitwise
+  // independent of jobs=, like the tables).
+  const train::TableRunOptions table{cfg.jobs, 0, "", false};
+
   // (b) sparsification ratio sweep (Ours-B style).
   {
-    std::vector<SweepPoint> series;
-    for (double ratio : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-      auto opt = base_opt;
-      opt.scheme.ratio = ratio;
-      const auto row = train::run_recipe(train::RecipeKind::OursB, opt,
-                                         dataset.train, dataset.test);
-      series.push_back({ratio, row.accuracy, row.roughness_before});
-    }
+    const auto series = run_sweep(
+        train::RecipeKind::OursB, base_opt, {0.05, 0.1, 0.2, 0.3, 0.4, 0.5},
+        [](train::RecipeOptions& opt, double ratio) {
+          opt.scheme.ratio = ratio;
+        },
+        dataset.train, dataset.test, table);
     print_series("(b) sparsification ratio sweep", "ratio", series,
                  "bench_out/fig6/b_ratio.csv");
     failures += !bench::shape_check(
@@ -72,13 +105,10 @@ int main(int argc, char** argv) {
   // (c) roughness regularization sweep (Ours-A style).
   std::vector<SweepPoint> series_c;
   {
-    for (double p : {0.001, 0.01, 0.05, 0.1, 0.3, 1.0}) {
-      auto opt = base_opt;
-      opt.roughness_p = p;
-      const auto row = train::run_recipe(train::RecipeKind::OursA, opt,
-                                         dataset.train, dataset.test);
-      series_c.push_back({p, row.accuracy, row.roughness_before});
-    }
+    series_c = run_sweep(
+        train::RecipeKind::OursA, base_opt, {0.001, 0.01, 0.05, 0.1, 0.3, 1.0},
+        [](train::RecipeOptions& opt, double p) { opt.roughness_p = p; },
+        dataset.train, dataset.test, table);
     print_series("(c) roughness regularization sweep (paper inflection at "
                  "p=0.1)", "p", series_c, "bench_out/fig6/c_roughness_reg.csv");
     failures += !bench::shape_check(
@@ -91,14 +121,10 @@ int main(int argc, char** argv) {
 
   // (d) intra-block regularization sweep (roughness+intra style).
   {
-    std::vector<SweepPoint> series;
-    for (double q : {0.003, 0.01, 0.03, 0.1, 0.3, 1.0}) {
-      auto opt = base_opt;
-      opt.intra_q = q;
-      const auto row = train::run_recipe(train::RecipeKind::OursD, opt,
-                                         dataset.train, dataset.test);
-      series.push_back({q, row.accuracy, row.roughness_before});
-    }
+    const auto series = run_sweep(
+        train::RecipeKind::OursD, base_opt, {0.003, 0.01, 0.03, 0.1, 0.3, 1.0},
+        [](train::RecipeOptions& opt, double q) { opt.intra_q = q; },
+        dataset.train, dataset.test, table);
     print_series("(d) intra-block regularization sweep (inflection location "
                  "is scale-dependent; paper reports log q=1 at 200x200)",
                  "q", series, "bench_out/fig6/d_intra_reg.csv");
@@ -110,7 +136,8 @@ int main(int argc, char** argv) {
   // (a) Pareto frontier assembled from all recipe variants + the sweeps.
   {
     std::vector<SweepPoint> cloud;
-    const auto rows = train::run_table(base_opt, dataset.train, dataset.test);
+    const auto rows =
+        train::run_table(base_opt, dataset.train, dataset.test, table);
     for (const auto& row : rows) {
       cloud.push_back({0.0, row.accuracy, row.roughness_after});
     }

@@ -84,24 +84,6 @@ donn::DonnModel train_smoothed_variant(
   return donn::DonnModel(store.model(pipeline::artifacts::kSmoothedModel));
 }
 
-/// FNV-1a over the IEEE-754 bits of every phase pixel of every layer (the
-/// shared odonn::fnv1a_mix fold): two trained models are bitwise identical
-/// iff their digests match.
-std::uint64_t phase_digest(const donn::DonnModel& model) {
-  std::uint64_t hash = kFnv1aBasis;
-  for (const auto& phase : model.phases()) {
-    for (const double value : phase) hash = fnv1a_mix(hash, value);
-  }
-  return hash;
-}
-
-std::string hex64(std::uint64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(value));
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -251,8 +233,10 @@ int main(int argc, char** argv) {
             ", \"p95\": " + bench::json_number(r.p95) +
             ", \"yield\": " + bench::json_number(r.yield) +
             ", \"train_digest\": " +
-            bench::json_quote(hex64(phase_digest(*variants[i]))) +
-            ", \"digest\": " + bench::json_quote(hex64(r.digest())) + "}" +
+            bench::json_quote(
+                bench::hex64(bench::phases_digest(variants[i]->phases()))) +
+            ", \"digest\": " + bench::json_quote(bench::hex64(r.digest())) +
+            "}" +
             (i + 1 < reports.size() ? ",\n" : "\n");
   }
   json += "]}";

@@ -8,8 +8,10 @@
 //            odonn_cli run pipeline=train,smooth,publish publish_dir=models
 //          Replaces the old examples/train_and_smooth (recipe rows) and
 //          examples/deployment_gap (crosstalk sweep) binaries.
-//   table  Reproduce a paper table (II-V) at a bench scale.
-//            odonn_cli table dataset=mnist bench.scale=smoke format=json
+//   table  Reproduce a paper table (II-V) at a bench scale. jobs=N runs N
+//          recipes concurrently via pipeline::ParallelTableRunner — rows
+//          (and their phase digests) are bitwise identical to jobs=1.
+//            odonn_cli table dataset=mnist bench.scale=smoke jobs=4
 //          Same driver the bench/table*_ binaries use.
 //   serve  Load checkpoints into a ModelRegistry and push traffic through
 //          the InferenceEngine, or enumerate the registered variants.
@@ -82,7 +84,9 @@ void print_usage() {
       "         train_warmup=-1 train_lr_scale=0.1 train_crosstalk=0|1\n"
       "         perturb=SPEC format=text|json|both\n"
       "  table  dataset=mnist|fmnist|kmnist|emnist|all bench.scale=smoke|\n"
-      "         default|paper grid= samples= seed= format=\n"
+      "         default|paper grid= samples= seed= jobs=N format=\n"
+      "         (jobs= runs N recipes concurrently; rows are bitwise\n"
+      "         identical to jobs=1 for any ODONN_THREADS)\n"
       "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
       "         batch=64 seed=7 format=text|json|both\n"
       "  robust model=PATH[,PATH...] | recipe=baseline,ours-c[,...]\n"
@@ -305,7 +309,7 @@ int cmd_run(const Config& cfg) {
 // ----------------------------------------------------------------- table
 
 int cmd_table(const Config& cfg) {
-  cfg.strict(with(bench::bench_config_keys(), {"dataset"}));
+  cfg.strict(with(bench::parallel_bench_config_keys(), {"dataset"}));
   const bench::BenchConfig bc = bench::make_bench_config(cfg);
   const auto format = bench::parse_format(cfg);
   const std::string dataset = cfg.get_enum(

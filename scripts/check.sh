@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, ctest, plus a smoke of the Monte-Carlo
-# robustness CLI — the single entry point CI and humans run before merging.
-# src/serve, src/pipeline and src/fab compile with -Wall -Wextra -Werror
-# (set in CMakeLists.txt), so any warning in those subsystems fails this
-# script at the build step.
+# Tier-1 verify: configure, build, ctest, plus smokes of the Monte-Carlo
+# robustness CLI, robust training, and the parallel table executor (with
+# cross-thread-count and cross-jobs digest compares) — the single entry
+# point CI and humans run before merging. src/serve, src/pipeline, src/fab
+# and src/common/parallel.cpp compile with -Wall -Wextra -Werror (set in
+# CMakeLists.txt), so any warning there fails this script at the build
+# step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,3 +59,46 @@ if [ "$td1" != "$td4" ]; then
   exit 1
 fi
 echo "robust-train smoke: ODONN_THREADS=1 vs 4 digests identical"
+
+# Parallel-table smoke: a full smoke-scale table must produce bitwise
+# identical rows — trained AND 2*pi-smoothed phase digests (the smooth2pi
+# half of the thread-independence contract) plus the metric columns —
+# across ODONN_THREADS=1 vs 4 AND across jobs=1 vs 4 (the parallel recipe
+# executor, pipeline::ParallelTableRunner).
+table_smoke() {  # $1=threads $2=jobs
+  ODONN_THREADS="$1" ./odonn_cli table bench.scale=smoke jobs="$2" \
+    format=json ||
+    { echo "table smoke: odonn_cli table failed (threads=$1 jobs=$2)" >&2
+      exit 1; }
+}
+table_rows() {  # extract the deterministic row fields (not seconds)
+  # `|| true` keeps a zero-match grep from tripping set -e inside the
+  # command substitutions below, so the "no digests emitted" guard can
+  # actually fire with its message instead of a silent abort.
+  printf '%s\n' "$1" |
+    grep -o '"[a-z_]*digest": "[0-9a-f]*"\|"[a-z_]*accuracy[a-z_0-9]*": [0-9.e+-]*\|"roughness_[a-z]*": [0-9.e+-]*\|"sparsity": [0-9.e+-]*' ||
+    true
+}
+s11="$(table_smoke 1 1)"
+s41="$(table_smoke 4 1)"
+s44="$(table_smoke 4 4)"
+r11="$(table_rows "$s11")"
+r41="$(table_rows "$s41")"
+r44="$(table_rows "$s44")"
+[ -n "$r11" ] || { echo "table smoke: no digests emitted" >&2; exit 1; }
+if [ "$r11" != "$r41" ]; then
+  echo "table smoke: rows differ between ODONN_THREADS=1 and 4" >&2
+  exit 1
+fi
+echo "table smoke: ODONN_THREADS=1 vs 4 rows identical (incl. smoothed digests)"
+if [ "$r41" != "$r44" ]; then
+  echo "table smoke: rows differ between jobs=1 and jobs=4" >&2
+  exit 1
+fi
+echo "table smoke: jobs=1 vs jobs=4 rows identical"
+
+# Parallel-table bench: records the sequential-vs-parallel wall-clock and
+# re-proves row parity (the speedup shape check self-skips on hosts with
+# fewer than 4 hardware threads, where thread parallelism cannot win).
+ODONN_THREADS=4 ./table_parallel bench.scale=smoke format=text ||
+  { echo "table_parallel bench failed" >&2; exit 1; }

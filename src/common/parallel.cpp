@@ -1,12 +1,14 @@
 #include "common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -14,9 +16,42 @@ namespace odonn {
 
 namespace {
 
-/// Simple work-queue thread pool. Built lazily on first use; lives for the
-/// process. Tasks are plain std::function<void()>; submitters wait on a
-/// per-batch countdown latch.
+/// Nesting context of the current thread. `depth` counts how many pool-task
+/// levels are above this frame (0 = a plain caller thread); `budget` is how
+/// many workers this context may fan out to (0 = the whole pool). Leaf
+/// chunk tasks run with budget 1, so a parallel_for nested inside another
+/// parallel_for's body still runs inline; parallel_tasks lanes get an
+/// explicit share so a pipeline running as a task keeps parallelizing.
+thread_local std::size_t t_depth = 0;
+thread_local std::size_t t_budget = 0;
+
+/// Installs a task's nesting context for its execution and restores the
+/// previous one afterwards (the same thread may interleave contexts when
+/// it helps drain the queue while waiting).
+class ContextGuard {
+ public:
+  ContextGuard(std::size_t depth, std::size_t budget)
+      : saved_depth_(t_depth), saved_budget_(t_budget) {
+    t_depth = depth;
+    t_budget = budget;
+  }
+  ~ContextGuard() {
+    t_depth = saved_depth_;
+    t_budget = saved_budget_;
+  }
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  std::size_t saved_depth_;
+  std::size_t saved_budget_;
+};
+
+/// Work-queue thread pool. Built lazily on first fan-out; lives for the
+/// process. Tasks carry their nesting depth so a waiting submitter only
+/// helps with work at its own depth or deeper — a latch waiter never picks
+/// up a shallower (potentially long-running) task that would delay its own
+/// return, while the depth-0 caller may run anything.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t n) {
@@ -37,32 +72,56 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  void submit(std::function<void()> task) {
+  void submit(std::size_t depth, std::function<void()> fn) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.push(std::move(task));
+      tasks_.push_back(Task{std::move(fn), depth});
     }
     cv_.notify_one();
   }
 
+  /// Runs one queued task with depth >= min_depth on the calling thread.
+  /// Returns false when no such task is queued.
+  bool try_help(std::size_t min_depth) {
+    std::function<void()> fn;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+        if (it->depth >= min_depth) {
+          fn = std::move(it->fn);
+          tasks_.erase(it);
+          break;
+        }
+      }
+    }
+    if (!fn) return false;
+    fn();
+    return true;
+  }
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::size_t depth = 0;
+  };
+
   void worker_loop() {
     for (;;) {
-      std::function<void()> task;
+      std::function<void()> fn;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
         if (stopping_ && tasks_.empty()) return;
-        task = std::move(tasks_.front());
-        tasks_.pop();
+        fn = std::move(tasks_.front().fn);
+        tasks_.pop_front();
       }
-      task();
+      fn();
     }
   }
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<Task> tasks_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };
@@ -91,10 +150,11 @@ ThreadPool& pool() {
   return *instance;
 }
 
-/// Guards against nested parallel_for deadlocking by running nested calls
-/// inline on the caller thread.
-thread_local bool t_inside_parallel = false;
-
+/// Countdown latch whose wait() HELPS: while tasks of this batch (or any
+/// deeper work) sit in the queue, the waiter runs them on its own thread
+/// instead of idling. Liveness: a waiter only sleeps once the queue holds
+/// nothing at its depth or deeper, which means every task of its batch is
+/// already executing on some thread — each will count_down and wake it.
 struct Latch {
   std::mutex m;
   std::condition_variable cv;
@@ -109,9 +169,21 @@ struct Latch {
     if (--remaining == 0) cv.notify_all();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(m);
-    cv.wait(lock, [this] { return remaining == 0; });
+  void wait_helping(ThreadPool& help, std::size_t min_depth) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        if (remaining == 0) break;
+      }
+      if (!help.try_help(min_depth)) {
+        std::unique_lock<std::mutex> lock(m);
+        if (remaining == 0) break;
+        // Sleep until a count_down. Work enqueued while we sleep belongs
+        // to other batches; its own submitters (or free workers) run it.
+        cv.wait(lock);
+      }
+    }
+    std::lock_guard<std::mutex> lock(m);
     if (first_error) std::rethrow_exception(first_error);
   }
 };
@@ -125,10 +197,20 @@ std::size_t thread_count() {
 }
 
 void set_thread_count(std::size_t n) {
-  ODONN_CHECK(n >= 1, "thread count must be >= 1");
+  if (n < 1) throw ConfigError("set_thread_count: thread count must be >= 1");
   std::lock_guard<std::mutex> lock(g_pool_mutex);
-  ODONN_CHECK(!g_pool_built.load(),
-              "set_thread_count must be called before first parallel_for");
+  if (g_pool_built.load()) {
+    // The pool cannot be resized once built (worker threads and queued
+    // work reference it), but re-stating the current size is harmless —
+    // common when a CLI parses threads= after some parallel warm-up ran.
+    const std::size_t current = pool().size();
+    if (current == n) return;
+    throw ConfigError(
+        "set_thread_count(" + std::to_string(n) +
+        "): the shared pool is already running " + std::to_string(current) +
+        " thread(s), fixed by the first parallel call; pass threads= before "
+        "any parallel work or set ODONN_THREADS instead");
+  }
   g_requested_threads = n;
 }
 
@@ -138,16 +220,19 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   const std::size_t total = end - begin;
-  const std::size_t workers = thread_count();
+  // Fan out within this context's budget: the whole pool at top level, an
+  // explicit share inside a parallel_tasks lane, one thread inside a leaf
+  // chunk (nested loops run inline).
+  const std::size_t budget = t_budget == 0 ? thread_count() : t_budget;
 
-  if (t_inside_parallel || workers <= 1 || total <= grain) {
+  if (budget <= 1 || total <= grain) {
     fn(begin, end);
     return;
   }
 
-  // Cap chunk count at ~4x workers for load balance without queue churn.
+  // Cap chunk count at ~4x the budget for load balance without queue churn.
   std::size_t chunks = std::min(total / grain + (total % grain != 0 ? 1 : 0),
-                                workers * 4);
+                                budget * 4);
   if (chunks <= 1) {
     fn(begin, end);
     return;
@@ -155,23 +240,23 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   const std::size_t step = (total + chunks - 1) / chunks;
   chunks = (total + step - 1) / step;
 
+  const std::size_t depth = t_depth + 1;
   Latch latch(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * step;
     const std::size_t hi = std::min(end, lo + step);
-    pool().submit([&fn, &latch, lo, hi] {
-      t_inside_parallel = true;
+    pool().submit(depth, [&fn, &latch, lo, hi, depth] {
+      ContextGuard context(depth, /*budget=*/1);
       std::exception_ptr err;
       try {
         fn(lo, hi);
       } catch (...) {
         err = std::current_exception();
       }
-      t_inside_parallel = false;
       latch.count_down(err);
     });
   }
-  latch.wait();
+  latch.wait_helping(pool(), depth);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
@@ -189,16 +274,25 @@ double parallel_sum(std::size_t begin, std::size_t end,
                     const std::function<double(std::size_t)>& fn,
                     std::size_t grain) {
   if (begin >= end) return 0.0;
-  const std::size_t total = end - begin;
   if (grain == 0) grain = 1;
-  const std::size_t chunks = (total + grain - 1) / grain;
+  const std::size_t total = end - begin;
+  // Fixed-slice layout: a pure function of (total, grain, cap) — never of
+  // the worker count or nesting context — so the summation tree is bitwise
+  // reproducible for any ODONN_THREADS. Slices are `grain` wide until the
+  // cap binds; then they grow uniformly so the partial buffer stays O(cap)
+  // instead of O(total/grain).
+  std::size_t step = grain;
+  if ((total + grain - 1) / grain > kParallelSumChunkCap) {
+    step = (total + kParallelSumChunkCap - 1) / kParallelSumChunkCap;
+  }
+  const std::size_t chunks = (total + step - 1) / step;
   std::vector<double> partials(chunks, 0.0);
   parallel_for_chunks(
       0, chunks,
       [&](std::size_t clo, std::size_t chi) {
         for (std::size_t c = clo; c < chi; ++c) {
-          const std::size_t lo = begin + c * grain;
-          const std::size_t hi = std::min(end, lo + grain);
+          const std::size_t lo = begin + c * step;
+          const std::size_t hi = std::min(end, lo + step);
           double acc = 0.0;
           for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
           partials[c] = acc;
@@ -208,6 +302,53 @@ double parallel_sum(std::size_t begin, std::size_t end,
   double total_sum = 0.0;
   for (double p : partials) total_sum += p;  // fixed order => deterministic
   return total_sum;
+}
+
+void parallel_tasks(std::vector<std::function<void()>> tasks,
+                    std::size_t max_concurrent, std::size_t inner_budget) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return;
+  const std::size_t budget = t_budget == 0 ? thread_count() : t_budget;
+  const std::size_t lanes =
+      max_concurrent == 0 ? n : std::min(n, max_concurrent);
+
+  if (lanes <= 1 || budget <= 1) {
+    // Sequential reference path: index order on the caller, full current
+    // budget per task, first error propagates immediately.
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  const std::size_t share = inner_budget != 0
+                                ? inner_budget
+                                : std::max<std::size_t>(1, budget / lanes);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(n);
+  const std::size_t depth = t_depth + 1;
+  Latch latch(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    pool().submit(depth, [&tasks, &next, &failed, &errors, n, depth, share,
+                          &latch] {
+      ContextGuard context(depth, share);
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          tasks[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      latch.count_down(nullptr);
+    });
+  }
+  latch.wait_helping(pool(), depth);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
 }
 
 }  // namespace odonn

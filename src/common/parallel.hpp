@@ -1,10 +1,19 @@
 // Shared thread pool and deterministic parallel loops.
 //
-// odonn parallelizes at two levels: across samples in a mini-batch (training)
-// and across rows of large transforms (FFT columns, kernels). Both go through
-// parallel_for, which chunks an index range over a process-wide pool.
-// Reductions use per-chunk partials combined in chunk order so results are
-// bitwise independent of thread scheduling.
+// odonn parallelizes at three levels: across independent pipelines of a
+// table (parallel_tasks), across samples in a mini-batch (training) and
+// across rows of large transforms (FFT columns, kernels). Everything runs
+// on one process-wide pool. The pool is NESTING-AWARE:
+//   * a task started by parallel_tasks carries a thread BUDGET — its inner
+//     parallel_for calls fan out to the shared pool within that budget
+//     instead of serializing (leaf chunks run with budget 1, so doubly
+//     nested loops still run inline);
+//   * every submitter HELPS while waiting: instead of idling in the latch
+//     it drains queued work at its own nesting depth or deeper, which both
+//     keeps the caller busy and makes nested waits deadlock-free.
+// Reductions use fixed-slice partials combined in slice order, so results
+// are bitwise independent of thread scheduling, of ODONN_THREADS and of
+// how work was nested.
 #pragma once
 
 #include <cstddef>
@@ -17,14 +26,16 @@ namespace odonn {
 /// ODONN_THREADS if set, else hardware_concurrency().
 std::size_t thread_count();
 
-/// Overrides the pool size; must be called before the first parallel_for
-/// (later calls throw, the pool is fixed once built).
+/// Overrides the pool size. Must be called before the pool is built (it is
+/// built lazily by the first parallel call that fans out). Once the pool
+/// exists, a call with the CURRENT size is a no-op; a conflicting size
+/// throws a catchable ConfigError naming both counts.
 void set_thread_count(std::size_t n);
 
 /// Runs fn(i) for i in [begin, end) across the pool. `grain` is the minimum
 /// number of iterations per task; small ranges run inline on the caller.
 /// fn must not throw across threads (exceptions are captured and rethrown
-/// on the caller after the loop completes, first-chunk-first).
+/// on the caller after the loop completes).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);
@@ -35,10 +46,34 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          std::size_t grain = 1);
 
-/// Deterministic sum-reduction: partials are produced per chunk and summed
-/// in ascending chunk order regardless of completion order.
+/// Upper bound on the number of partial sums parallel_sum materializes.
+/// The slice layout is a pure function of (range length, grain, this cap)
+/// — never of the worker count — so the summation tree, and therefore the
+/// result bits, are identical for every ODONN_THREADS and nesting context.
+inline constexpr std::size_t kParallelSumChunkCap = 1024;
+
+/// Deterministic sum-reduction: fixed-layout slices are summed internally
+/// left-to-right and combined in ascending slice order regardless of
+/// completion order. Slices cover `grain` indices each until the
+/// kParallelSumChunkCap cap binds, after which they grow uniformly so the
+/// partial buffer stays O(cap) instead of O(total/grain).
 double parallel_sum(std::size_t begin, std::size_t end,
                     const std::function<double(std::size_t)>& fn,
                     std::size_t grain = 64);
+
+/// Runs every element of `tasks` concurrently on the shared pool, at most
+/// `max_concurrent` (0 = all) in flight at once. Each task executes with
+/// an inner parallelism budget of `inner_budget` threads (0 = the current
+/// budget split evenly across the concurrent lanes): nested parallel_for
+/// calls inside a task fan out to the shared pool within that budget. The
+/// caller helps drain pool work while waiting.
+///
+/// With one lane (or a single-thread budget) the tasks run inline on the
+/// caller in index order — the sequential reference path. On failure the
+/// lowest-index captured exception is rethrown after all in-flight tasks
+/// finish; tasks not yet started by then are abandoned.
+void parallel_tasks(std::vector<std::function<void()>> tasks,
+                    std::size_t max_concurrent = 0,
+                    std::size_t inner_budget = 0);
 
 }  // namespace odonn

@@ -1,0 +1,40 @@
+#include "pipeline/executor.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace odonn::pipeline {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+ParallelTableRunner::ParallelTableRunner(ExecutorOptions options)
+    : options_(options) {
+  ODONN_CHECK(options_.jobs >= 1, "executor: jobs must be >= 1");
+}
+
+std::vector<JobResult> ParallelTableRunner::run(
+    std::vector<PipelineJob> jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    tasks.push_back([&jobs, &results, i] {
+      PipelineJob& job = jobs[i];
+      JobResult& result = results[i];
+      result.label = job.label;
+      const Clock::time_point t0 = Clock::now();
+      if (job.setup) job.setup(result.store);
+      result.timings = job.pipeline.run(result.store, job.run_options);
+      result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    });
+  }
+  parallel_tasks(std::move(tasks), options_.jobs, options_.inner_threads);
+  return results;
+}
+
+}  // namespace odonn::pipeline

@@ -1,0 +1,67 @@
+// ParallelTableRunner — concurrent execution of independent pipelines.
+//
+// A paper table (and the fig6 hyperparameter sweep) is N independent
+// recipe pipelines over one shared read-only dataset pair. The runner
+// executes them as parallel_tasks lanes on the shared pool: at most
+// `jobs` pipelines in flight, each with an inner thread budget so an
+// M-recipe table on T threads neither oversubscribes (M pipelines each
+// assuming T workers) nor serializes (a pipeline on a pool thread falling
+// back to inline loops, the pre-nesting-aware behavior).
+//
+// Determinism contract: every job owns its ArtifactStore, pipelines only
+// share immutable inputs (datasets attached by `setup`), and all shared
+// caches (fft plans, encode snapshots) are order-independent — so results
+// are BITWISE identical to the sequential jobs=1 path for any jobs= and
+// any ODONN_THREADS (scripts/check.sh digests a jobs=1 vs jobs=4 table).
+//
+// Failure: the lowest-index job's exception is rethrown after in-flight
+// jobs finish; jobs not yet started are abandoned. Completed jobs that
+// were checkpointing keep their checkpoints, so a rerun with resume=true
+// fast-forwards them (tests/executor_test.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+namespace odonn::pipeline {
+
+struct ExecutorOptions {
+  /// Max pipelines in flight. 1 = the sequential reference path (runs on
+  /// the caller, full pool budget per job — exactly the classic loop).
+  std::size_t jobs = 1;
+  /// Inner parallel budget per running job; 0 = thread_count() split
+  /// evenly across the concurrent lanes.
+  std::size_t inner_threads = 0;
+};
+
+struct PipelineJob {
+  std::string label;
+  Pipeline pipeline;
+  RunOptions run_options;
+  /// Runs before the pipeline, on the job's own store — attach shared
+  /// datasets, seed models, etc. May be empty.
+  std::function<void(ArtifactStore&)> setup;
+};
+
+struct JobResult {
+  std::string label;
+  ArtifactStore store;
+  std::vector<StageTiming> timings;
+  double seconds = 0.0;  ///< wall-clock of this job (setup + pipeline)
+};
+
+class ParallelTableRunner {
+ public:
+  explicit ParallelTableRunner(ExecutorOptions options = {});
+
+  /// Executes every job and returns their results in job order.
+  std::vector<JobResult> run(std::vector<PipelineJob> jobs) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace odonn::pipeline

@@ -44,6 +44,16 @@ void Pipeline::validate(const ArtifactStore& store) const {
   std::vector<std::string> produced;
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     const Stage& stage = *stages_[i];
+    const std::vector<std::string> outputs = stage.outputs();
+    for (std::size_t a = 0; a < outputs.size(); ++a) {
+      for (std::size_t b = a + 1; b < outputs.size(); ++b) {
+        if (outputs[a] == outputs[b]) {
+          throw ConfigError("pipeline: stage #" + std::to_string(i + 1) +
+                            " '" + stage.name() + "' declares output '" +
+                            outputs[a] + "' more than once");
+        }
+      }
+    }
     for (const std::string& key : stage.inputs()) {
       const bool from_store = store.has_key(key);
       const bool from_stage =
@@ -54,7 +64,7 @@ void Pipeline::validate(const ArtifactStore& store) const {
                           "' which no earlier stage produces");
       }
     }
-    for (const std::string& key : stage.outputs()) produced.push_back(key);
+    for (const std::string& key : outputs) produced.push_back(key);
   }
 }
 

@@ -60,9 +60,40 @@ struct RecipeResult {
   double deployed_accuracy = 0.0;  ///< accuracy under crosstalk emulation
   double deployed_accuracy_after_2pi = 0.0;
   double sparsity = 0.0;           ///< achieved zero fraction (0 if dense)
+  double seconds = 0.0;            ///< wall-clock of this recipe's pipeline
   std::vector<MatrixD> trained_phases;   ///< per-layer masks after training
   std::vector<MatrixD> smoothed_phases;  ///< after the 2*pi optimization
 };
+
+/// One entry of a run_recipes batch: a recipe plus its (possibly swept)
+/// options. `label` names checkpoint subdirectories and result rows;
+/// empty defaults to recipe_name(kind).
+struct RecipeRequest {
+  RecipeKind kind = RecipeKind::Baseline;
+  RecipeOptions options;
+  std::string label;
+};
+
+/// How a batch of recipes (a table, a sweep) executes. Results are bitwise
+/// identical for every jobs= / inner_threads= combination: each recipe is
+/// deterministic over its own ArtifactStore (pipeline::ParallelTableRunner
+/// contract).
+struct TableRunOptions {
+  std::size_t jobs = 1;           ///< concurrent recipes (1 = sequential)
+  std::size_t inner_threads = 0;  ///< per-recipe thread budget (0 = auto)
+  /// When non-empty, each recipe checkpoints under `<dir>/<label>/` —
+  /// independent subdirectories, so resume=true fast-forwards exactly the
+  /// recipes that completed, even after a parallel run failed midway.
+  std::string checkpoint_dir;
+  bool resume = false;
+};
+
+/// Runs every requested recipe — concurrently when table.jobs > 1 — and
+/// returns the results in request order.
+std::vector<RecipeResult> run_recipes(const std::vector<RecipeRequest>& requests,
+                                      const data::Dataset& train,
+                                      const data::Dataset& test,
+                                      const TableRunOptions& table = {});
 
 /// Runs one recipe end to end on pre-resized train/test datasets.
 /// Implemented as a thin composition over pipeline::Pipeline stages in
@@ -73,9 +104,12 @@ struct RecipeResult {
 RecipeResult run_recipe(RecipeKind kind, const RecipeOptions& options,
                         const data::Dataset& train, const data::Dataset& test);
 
-/// Runs all five recipes (a full table) and returns the rows in paper order.
+/// Runs all five recipes (a full table) and returns the rows in paper
+/// order. `table` controls parallelism/checkpointing; the default runs
+/// sequentially, and any jobs= produces bitwise-identical rows.
 std::vector<RecipeResult> run_table(const RecipeOptions& options,
                                     const data::Dataset& train,
-                                    const data::Dataset& test);
+                                    const data::Dataset& test,
+                                    const TableRunOptions& table = {});
 
 }  // namespace odonn::train

@@ -2,9 +2,12 @@
 // parallel loops, logging, error machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -235,6 +238,115 @@ TEST(Parallel, NestedCallsRunInline) {
     parallel_for(0, 8, [&](std::size_t) { total++; });
   });
   EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Parallel, SumFixedSliceLayoutIsBitwiseReproducible) {
+  const auto f = [](std::size_t i) {
+    return std::sin(static_cast<double>(i)) * 1e-3;
+  };
+  // The documented fixed-slice layout: grain-wide slices until
+  // kParallelSumChunkCap binds, then uniformly grown slices; slice sums
+  // accumulate left-to-right and combine in slice order. A pure function
+  // of (total, grain) — the sequential replica below must match the
+  // parallel result bit for bit whether or not the cap binds, and for any
+  // worker count.
+  const auto reference = [&](std::size_t total, std::size_t grain) {
+    std::size_t step = grain;
+    if ((total + grain - 1) / grain > kParallelSumChunkCap) {
+      step = (total + kParallelSumChunkCap - 1) / kParallelSumChunkCap;
+    }
+    double sum = 0.0;
+    for (std::size_t lo = 0; lo < total; lo += step) {
+      const std::size_t hi = std::min(total, lo + step);
+      double acc = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) acc += f(i);
+      sum += acc;
+    }
+    return sum;
+  };
+  const std::vector<std::pair<std::size_t, std::size_t>> cases = {
+      {200000, 1},   // cap binds hard (200000 grain-chunks -> 1024 slices)
+      {200000, 64},  // cap binds (3125 -> 1024)
+      {1000, 1},     // cap does not bind
+      {1000, 64},    // small: a handful of grain-wide slices
+  };
+  for (const auto& [total, grain] : cases) {
+    const double once = parallel_sum(0, total, f, grain);
+    EXPECT_EQ(once, parallel_sum(0, total, f, grain));  // deterministic
+    EXPECT_EQ(once, reference(total, grain));           // documented layout
+  }
+}
+
+TEST(Parallel, SetThreadCountSameValueIsNoopAndConflictIsCatchable) {
+  // Build the pool at >= 2 workers: request 2 if it is not built yet (on a
+  // 1-core host a pool never builds while the budget is 1), then force the
+  // build with a fan-out-capable loop.
+  try {
+    set_thread_count(2);
+  } catch (const ConfigError&) {
+    // Already built by an earlier test at its own size — equally fine.
+  }
+  parallel_for(0, 64, [](std::size_t) {});
+  const std::size_t current = thread_count();
+  ASSERT_GE(current, 2u);
+
+  // Re-stating the current size after the pool exists must be a no-op (the
+  // CLI parses threads= after warm-up code may already have fanned out)...
+  EXPECT_NO_THROW(set_thread_count(current));
+  // ...while a conflicting size is a catchable ConfigError naming both
+  // counts, not a bare check failure.
+  try {
+    set_thread_count(current + 1);
+    FAIL() << "conflicting set_thread_count did not throw";
+  } catch (const ConfigError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(std::to_string(current + 1)), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(current)), std::string::npos);
+  }
+  EXPECT_THROW(set_thread_count(0), ConfigError);
+}
+
+TEST(Parallel, TasksRunEveryTaskAndNestedLoopsStillFanOut) {
+  // After the previous test the pool has >= 2 workers, so this exercises
+  // the genuinely concurrent path: 6 tasks, at most 3 in flight, each
+  // running an inner parallel_for under its per-task budget.
+  static constexpr std::size_t kTasks = 6;
+  static constexpr std::size_t kN = 500;
+  std::vector<std::vector<int>> hits(kTasks, std::vector<int>(kN, 0));
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    tasks.push_back([&hits, t] {
+      parallel_for(0, kN, [&hits, t](std::size_t i) { hits[t][i]++; });
+    });
+  }
+  parallel_tasks(std::move(tasks), /*max_concurrent=*/3, /*inner_budget=*/2);
+  for (const auto& task_hits : hits) {
+    for (const int h : task_hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(Parallel, TasksSequentialLaneRunsInIndexOrder) {
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 4; ++t) {
+    tasks.push_back([&order, t] { order.push_back(t); });
+  }
+  parallel_tasks(std::move(tasks), /*max_concurrent=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Parallel, TasksPropagateTheLowestIndexError) {
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw NumericsError("lane exploded"); });
+  tasks.push_back([] {});
+  try {
+    parallel_tasks(std::move(tasks), 2);
+    FAIL() << "expected the lane error to propagate to the caller";
+  } catch (const NumericsError& error) {
+    EXPECT_NE(std::string(error.what()).find("lane exploded"),
+              std::string::npos);
+  }
 }
 
 TEST(Log, ParseLevelAcceptsKnownNames) {

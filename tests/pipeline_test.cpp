@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -262,6 +263,29 @@ TEST(PipelineValidation, RejectsUnsatisfiedInputsBeforeRunning) {
   // A store with no datasets fails train's data.train input.
   ArtifactStore empty;
   EXPECT_THROW(good.validate(empty), ConfigError);
+}
+
+TEST(PipelineValidation, RejectsDuplicateDeclaredOutputs) {
+  // A stage declaring the same output twice is a authoring bug (one write
+  // silently wins); validate() must name the stage and the key.
+  class DupStage : public Stage {
+   public:
+    std::string name() const override { return "dup"; }
+    std::vector<std::string> outputs() const override {
+      return {"metric.x", "metric.x"};
+    }
+    void run(ArtifactStore&) override {}
+  };
+  Pipeline pipe;
+  pipe.add(std::make_unique<DupStage>());
+  ArtifactStore store;
+  try {
+    pipe.validate(store);
+    FAIL() << "validate() accepted duplicate declared outputs";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("dup"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("metric.x"), std::string::npos);
+  }
 }
 
 TEST(PipelineObserverTest, ReportsStagesInOrderWithTimings) {
