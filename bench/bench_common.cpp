@@ -6,8 +6,10 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "data/transform.hpp"
+#include "obs/obs.hpp"
 #include "tensor/stats.hpp"
 
 namespace odonn::bench {
@@ -300,12 +302,18 @@ void print_table_json(const TableSpec& spec, const BenchConfig& cfg,
   std::printf("{\"bench\": %s, \"scale\": %s, \"grid\": %zu, "
               "\"samples\": %zu, \"seed\": %llu, \"block\": %zu, "
               "\"jobs\": %zu, \"wall_seconds\": %s, "
-              "\"failures\": %d,\n \"rows\": [\n",
+              "\"failures\": %d,\n",
               json_quote(spec.id).c_str(),
               json_quote(scale_name(cfg.scale)).c_str(), cfg.grid,
               cfg.samples, static_cast<unsigned long long>(cfg.seed),
               cfg.scaled_block(spec.paper_block), cfg.jobs,
               json_number(wall_seconds).c_str(), failures);
+  // Metrics snapshot block: the process-wide registry as of this record
+  // (counters accumulate across tables in a dataset=all run). Metric
+  // names are dotted, so the digest/accuracy greps in scripts/check.sh
+  // never match inside this block.
+  std::printf(" \"metrics\": %s,\n \"rows\": [\n",
+              obs::MetricsRegistry::global().to_json().c_str());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     std::printf("  {\"model\": %s, \"accuracy\": %s, "
@@ -341,6 +349,21 @@ int run_table_bench(const TableSpec& spec, const BenchConfig& cfg,
   // identical to jobs=1; only wall_seconds moves.
   train::TableRunOptions table;
   table.jobs = cfg.jobs;
+  // Live per-stage progress (debug level so default runs stay quiet):
+  // events stream out of the concurrent jobs as they happen — run with
+  // ODONN_LOG_LEVEL=debug to watch a parallel table make progress.
+  table.progress = [](const train::TableProgress& event) {
+    if (event.finished) {
+      log::debug() << "[table] " << event.label << "/" << event.stage_name
+                   << (event.skipped ? " resumed"
+                                     : " done " +
+                                           std::to_string(event.seconds) +
+                                           "s");
+    } else {
+      log::debug() << "[table] " << event.label << "/" << event.stage_name
+                   << " start";
+    }
+  };
   using Clock = std::chrono::steady_clock;
   const Clock::time_point t0 = Clock::now();
   const std::vector<train::RecipeResult> rows =

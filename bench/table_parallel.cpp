@@ -11,7 +11,11 @@
 //     FNV digests of trained + 2*pi-smoothed phase bits (always enforced);
 //   * parallel wall-clock >= 1.5x faster at >= 4 threads (skipped, like
 //     the smoke accuracy checks, when the host lacks 4 hardware threads —
-//     thread parallelism cannot beat the clock on a 1-core runner).
+//     thread parallelism cannot beat the clock on a 1-core runner);
+//   * observability leg: the same parallel table with metric detail AND
+//     tracing fully on stays bitwise identical (always enforced) and
+//     costs <= 2% wall-clock (best of 3 paired runs, to ride out timing
+//     noise on small scales).
 //
 //   ODONN_THREADS=4 ./table_parallel bench.scale=smoke [jobs=4] [grid=]
 //                   [samples=] [seed=] [format=]
@@ -25,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "train/recipe.hpp"
 
 using namespace odonn;
@@ -113,6 +118,43 @@ int main(int argc, char** argv) {
                 speedup);
   }
 
+  // Observability-overhead leg: the same parallel table with metric
+  // detail and tracing fully enabled. Two guarantees under test here:
+  // the rows stay bitwise identical (observation never feeds back into
+  // the computation) and the wall-clock cost stays <= 2%. Each attempt
+  // pairs an instrumented run with a fresh plain baseline and the check
+  // keeps the best of up to 3 attempts — single smoke-scale timings are
+  // too noisy for a 2% bound.
+  double obs_seconds = 0.0;
+  double obs_base_seconds = 0.0;
+  double obs_overhead = 0.0;
+  bool obs_identical = true;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    double base = 0.0;
+    (void)timed_table(opt, dataset, jobs, base);
+    obs::set_detail(true);
+    obs::set_tracing(true);
+    obs::clear_trace();
+    double traced = 0.0;
+    const auto traced_rows = timed_table(opt, dataset, jobs, traced);
+    obs::set_detail(false);
+    obs::set_tracing(false);
+    obs_identical = obs_identical && rows_bitwise_equal(seq_rows, traced_rows);
+    const double overhead = base > 0.0 ? traced / base - 1.0 : 0.0;
+    if (attempt == 0 || overhead < obs_overhead) {
+      obs_overhead = overhead;
+      obs_seconds = traced;
+      obs_base_seconds = base;
+    }
+    if (obs_overhead <= 0.02) break;
+  }
+
+  if (text) {
+    std::printf("observability leg: plain %.3fs, instrumented %.3fs "
+                "(overhead %+.2f%%)\n\n",
+                obs_base_seconds, obs_seconds, 100.0 * obs_overhead);
+  }
+
   // Shape checks (printed in text mode only, so format=json stays one
   // clean JSON document like the odonn_cli benches).
   int failures = 0;
@@ -123,6 +165,11 @@ int main(int argc, char** argv) {
   failures += check(identical,
                     "parallel rows bitwise identical to sequential "
                     "(metrics + phase digests)");
+  failures += check(obs_identical,
+                    "rows bitwise identical with metric detail + tracing on");
+  failures += check(obs_overhead <= 0.02,
+                    "observability overhead <= 2% on the parallel table "
+                    "(best of 3 paired runs)");
   const unsigned hw = std::thread::hardware_concurrency();
   if (jobs >= 2 && hw >= 4 && thread_count() >= 4) {
     failures += check(
@@ -146,7 +193,11 @@ int main(int argc, char** argv) {
         ", \"seq_seconds\": " + bench::json_number(seq_seconds) +
         ", \"par_seconds\": " + bench::json_number(par_seconds) +
         ", \"speedup\": " + bench::json_number(speedup) +
+        ", \"obs_seconds\": " + bench::json_number(obs_seconds) +
+        ", \"obs_base_seconds\": " + bench::json_number(obs_base_seconds) +
+        ", \"obs_overhead\": " + bench::json_number(obs_overhead) +
         ", \"rows_identical\": " + (identical ? "true" : "false") +
+        ", \"obs_rows_identical\": " + (obs_identical ? "true" : "false") +
         ", \"failures\": " + std::to_string(failures) + ", \"rows\": [\n";
     for (std::size_t i = 0; i < par_rows.size(); ++i) {
       json += "  {\"model\": " + bench::json_quote(par_rows[i].name) +

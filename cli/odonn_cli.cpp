@@ -31,29 +31,43 @@
 //   odonn_cli run recipe=baseline robust_train=1 train_realizations=4
 //   odonn_cli robust recipe=baseline robust_train=1 realizations=32
 //
+// Observability: every subcommand accepts metrics=<path> and trace=<path>.
+// Either key switches detail collection + tracing on for the whole run and,
+// on success, writes the metrics registry (JSON by default, Prometheus text
+// for .prom/.txt paths) and a Chrome-trace event file (load in
+// chrome://tracing or ui.perfetto.dev). serve additionally accepts
+// snapshot_s=SECONDS to print periodic engine snapshots while the bench
+// runs. Collection never affects results: digests are bitwise identical
+// with metrics on or off (scripts/check.sh asserts this).
+//
 // All arguments are key=value; unknown keys are rejected (Config::strict)
 // and format=text|json|both selects the output. Exit code 0 on success,
 // 1 on configuration errors.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/parallel.hpp"
 #include "data/synthetic.hpp"
 #include "data/transform.hpp"
 #include "donn/serialize.hpp"
 #include "fab/montecarlo.hpp"
 #include "fab/spec.hpp"
+#include "obs/obs.hpp"
 #include "optics/encode.hpp"
 #include "pipeline/parser.hpp"
 #include "serve/engine.hpp"
@@ -72,6 +86,55 @@ std::vector<std::string> with(std::vector<std::string> keys,
   return keys;
 }
 
+// ---------------------------------------------------------- observability
+
+/// Export destinations parsed from the shared metrics=/trace= keys.
+struct ObsOptions {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+/// Reads metrics=/trace= and, when either is set, switches on detail
+/// collection (queue-wait timing) and span tracing for the whole run.
+/// Must run BEFORE the subcommand so instrumentation covers it.
+ObsOptions obs_options_from_config(const Config& cfg) {
+  ObsOptions options;
+  options.metrics_path = cfg.get_string("metrics", "");
+  options.trace_path = cfg.get_string("trace", "");
+  if (!options.metrics_path.empty() || !options.trace_path.empty()) {
+    obs::set_detail(true);
+    obs::set_tracing(true);
+  }
+  return options;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("cannot write " + path);
+  out << content;
+}
+
+/// Writes the requested exports after a successful run. metrics= paths
+/// ending in .prom/.txt get the Prometheus exposition; everything else
+/// gets the combined JSON (registry + finished spans). trace= always gets
+/// Chrome-trace format.
+void write_obs_outputs(const ObsOptions& options) {
+  if (!options.metrics_path.empty()) {
+    const std::string ext =
+        std::filesystem::path(options.metrics_path).extension().string();
+    const bool prometheus = ext == ".prom" || ext == ".txt";
+    write_text_file(options.metrics_path,
+                    prometheus ? obs::MetricsRegistry::global().to_text()
+                               : obs::export_json());
+  }
+  if (!options.trace_path.empty()) {
+    write_text_file(options.trace_path, obs::trace_to_chrome_json());
+  }
+}
+
 void print_usage() {
   std::printf(
       "usage: odonn_cli <run|table|serve|robust> [key=value ...]\n"
@@ -88,7 +151,9 @@ void print_usage() {
       "         (jobs= runs N recipes concurrently; rows are bitwise\n"
       "         identical to jobs=1 for any ODONN_THREADS)\n"
       "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
-      "         batch=64 seed=7 format=text|json|both\n"
+      "         batch=64 seed=7 snapshot_s=0.5 format=text|json|both\n"
+      "  all subcommands: metrics=PATH (.json or .prom/.txt) trace=PATH\n"
+      "         export the metrics registry / Chrome-trace spans on success\n"
       "  robust model=PATH[,PATH...] | recipe=baseline,ours-c[,...]\n"
       "         perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=16)"
       "+misalign(sigma_px=0.25)'\n"
@@ -107,7 +172,8 @@ struct RunJob {
 int cmd_run(const Config& cfg) {
   cfg.strict(with(pipeline::config_keys(),
                   {"dataset", "samples", "format", "checkpoint_dir", "resume",
-                   "publish_name", "publish_dir", "sweep"}));
+                   "publish_name", "publish_dir", "sweep", "metrics",
+                   "trace"}));
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const bool print_json = format != bench::OutputFormat::Text;
@@ -309,7 +375,8 @@ int cmd_run(const Config& cfg) {
 // ----------------------------------------------------------------- table
 
 int cmd_table(const Config& cfg) {
-  cfg.strict(with(bench::parallel_bench_config_keys(), {"dataset"}));
+  cfg.strict(with(bench::parallel_bench_config_keys(),
+                  {"dataset", "metrics", "trace"}));
   const bench::BenchConfig bc = bench::make_bench_config(cfg);
   const auto format = bench::parse_format(cfg);
   const std::string dataset = cfg.get_enum(
@@ -330,7 +397,7 @@ int cmd_table(const Config& cfg) {
 
 int cmd_serve(const Config& cfg) {
   cfg.strict({"model", "grid", "samples", "batch", "seed", "format",
-              "action"});
+              "action", "metrics", "trace", "snapshot_s"});
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const std::string action =
@@ -404,6 +471,39 @@ int cmd_serve(const Config& cfg) {
   options.max_batch = batch;
   serve::InferenceEngine engine(registry, options);
 
+  // snapshot_s=SECONDS: a background thread logs an engine snapshot at
+  // that period while the bench runs (observability only). RAII so the
+  // thread is joined even when the bench throws.
+  const double snapshot_s = cfg.get_double("snapshot_s", 0.0);
+  struct SnapshotLoop {
+    std::atomic<bool> running{true};
+    std::thread thread;
+    ~SnapshotLoop() {
+      running.store(false);
+      if (thread.joinable()) thread.join();
+    }
+  } snapshots;
+  if (snapshot_s > 0.0) {
+    snapshots.thread = std::thread([&engine, &snapshots, snapshot_s] {
+      const auto tick = std::chrono::milliseconds(50);
+      auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(snapshot_s));
+      while (snapshots.running.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(tick);
+        if (Clock::now() < next) continue;
+        next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                  std::chrono::duration<double>(snapshot_s));
+        const auto snap = engine.stats();
+        log::info() << "serve snapshot: requests=" << snap.requests
+                    << " errors=" << snap.errors << " p50_ms=" << snap.p50_ms
+                    << " p99_ms=" << snap.p99_ms
+                    << " rps=" << snap.throughput_rps
+                    << " mean_batch=" << snap.mean_batch_size
+                    << " queue=" << engine.pending();
+      }
+    });
+  }
+
   if (print_text) {
     std::printf("=== odonn_cli serve ===\n");
     std::printf("models=%zu grid=%zu samples=%zu batch=%zu threads=%zu\n\n",
@@ -452,7 +552,8 @@ int cmd_serve(const Config& cfg) {
 
 int cmd_robust(const Config& cfg) {
   cfg.strict(with(pipeline::config_keys(),
-                  {"dataset", "samples", "model", "format", "threads"}));
+                  {"dataset", "samples", "model", "format", "threads",
+                   "metrics", "trace"}));
   // Pin the pool size before any parallel work runs (the robust CLI
   // exposes the thread count directly; ODONN_THREADS remains the default).
   if (cfg.has("threads")) {
@@ -625,13 +726,21 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Config cfg = Config::from_args(argc - 1, argv + 1);
-    if (command == "run") return cmd_run(cfg);
-    if (command == "table") return cmd_table(cfg);
-    if (command == "serve") return cmd_serve(cfg);
-    if (command == "robust") return cmd_robust(cfg);
-    std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
-    print_usage();
-    return 1;
+    if (command != "run" && command != "table" && command != "serve" &&
+        command != "robust") {
+      std::fprintf(stderr, "unknown subcommand '%s'\n\n", command.c_str());
+      print_usage();
+      return 1;
+    }
+    // Enable collection before the command runs, export after it succeeds.
+    const ObsOptions obs_options = obs_options_from_config(cfg);
+    int code = 1;
+    if (command == "run") code = cmd_run(cfg);
+    if (command == "table") code = cmd_table(cfg);
+    if (command == "serve") code = cmd_serve(cfg);
+    if (command == "robust") code = cmd_robust(cfg);
+    if (code == 0) write_obs_outputs(obs_options);
+    return code;
   } catch (const Error& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, ctest, plus smokes of the Monte-Carlo
-# robustness CLI, robust training, and the parallel table executor (with
-# cross-thread-count and cross-jobs digest compares) — the single entry
-# point CI and humans run before merging. src/serve, src/pipeline, src/fab
-# and src/common/parallel.cpp compile with -Wall -Wextra -Werror (set in
-# CMakeLists.txt), so any warning there fails this script at the build
-# step.
+# robustness CLI, robust training, the parallel table executor (with
+# cross-thread-count and cross-jobs digest compares), and the
+# observability exports (metrics-on rows bitwise identical to plain) —
+# the single entry point CI and humans run before merging. src/serve,
+# src/pipeline, src/fab, src/obs and src/common/parallel.cpp compile with
+# -Wall -Wextra -Werror (set in CMakeLists.txt), so any warning there
+# fails this script at the build step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -97,8 +98,40 @@ if [ "$r41" != "$r44" ]; then
 fi
 echo "table smoke: jobs=1 vs jobs=4 rows identical"
 
-# Parallel-table bench: records the sequential-vs-parallel wall-clock and
+# Observability smoke: the SAME table with metrics= and trace= exports on
+# (which also flips on detail collection and tracing) must stay bitwise
+# identical to the plain jobs=4 run above — collection reads clocks and
+# bumps atomics, it never feeds back into the computation. The exports
+# must carry the full schema: counters from serve/pipeline/parallel/fft,
+# per-job stage spans, and a Chrome-trace document. CI uploads
+# build/obs_artifacts/ so a failed run's metrics are inspectable.
+rm -rf obs_artifacts
+so44="$(ODONN_THREADS=4 ./odonn_cli table bench.scale=smoke jobs=4 \
+  metrics=obs_artifacts/metrics.json trace=obs_artifacts/trace.json \
+  format=json)" ||
+  { echo "obs smoke: odonn_cli table with metrics=/trace= failed" >&2
+    exit 1; }
+ro44="$(table_rows "$so44")"
+if [ "$r44" != "$ro44" ]; then
+  echo "obs smoke: rows differ between metrics-on and plain runs" >&2
+  exit 1
+fi
+echo "obs smoke: metrics-on rows bitwise identical to plain run"
+for needle in '"serve.requests"' '"pipeline.stages_run"' '"parallel.tasks"' \
+              '"fft.plan_cache.hits"' '"stage:baseline/train"' \
+              '"stage:ours-d/train"'; do
+  grep -q "$needle" obs_artifacts/metrics.json ||
+    { echo "obs smoke: metrics.json missing $needle" >&2; exit 1; }
+done
+grep -q '"traceEvents"' obs_artifacts/trace.json ||
+  { echo "obs smoke: trace.json is not a Chrome-trace document" >&2
+    exit 1; }
+echo "obs smoke: metrics schema, per-job stage spans and trace all present"
+
+# Parallel-table bench: records the sequential-vs-parallel wall-clock,
 # re-proves row parity (the speedup shape check self-skips on hosts with
-# fewer than 4 hardware threads, where thread parallelism cannot win).
+# fewer than 4 hardware threads, where thread parallelism cannot win),
+# and bounds the observability overhead (<= 2% with detail + tracing on,
+# rows still bitwise identical).
 ODONN_THREADS=4 ./table_parallel bench.scale=smoke format=text ||
   { echo "table_parallel bench failed" >&2; exit 1; }

@@ -3,18 +3,50 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace odonn::log {
 
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized, read env on first use
+std::atomic<int> g_timestamps{-1};  // -1 = read ODONN_LOG_TIMESTAMPS first
 std::mutex g_emit_mutex;
+
+bool timestamps_enabled() {
+  int state = g_timestamps.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("ODONN_LOG_TIMESTAMPS");
+    state = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_timestamps.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+/// "2026-01-31T12:34:56.789Z" — UTC with millisecond resolution.
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[40];
+  const std::size_t len =
+      std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buffer + len, sizeof(buffer) - len, ".%03dZ",
+                static_cast<int>(millis));
+  return buffer;
+}
 
 int init_from_env() {
   const char* env = std::getenv("ODONN_LOG_LEVEL");
@@ -62,12 +94,32 @@ Level parse_level(const std::string& name) {
   throw ConfigError("unknown log level '" + name + "'");
 }
 
+void set_timestamps(bool enabled) {
+  g_timestamps.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
 namespace detail {
 
 void emit(Level lvl, const std::string& message) {
   if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  // Format the entire line first, then write it with ONE call under the
+  // mutex: concurrent table jobs never tear each other's lines, even
+  // through stdio buffering boundaries.
+  std::string line;
+  line.reserve(message.size() + 48);
+  line += "[odonn ";
+  if (timestamps_enabled()) {
+    line += iso8601_now();
+    line += " t";
+    line += std::to_string(obs::thread_tag());
+    line += ' ';
+  }
+  line += tag(lvl);
+  line += "] ";
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[odonn %s] %s\n", tag(lvl), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

@@ -1,6 +1,12 @@
 // Minimal leveled logger. Intentionally tiny: benches and examples use it for
 // progress lines; library code logs only at Debug level so default runs stay
 // quiet. Controlled by ODONN_LOG_LEVEL (error|warn|info|debug) or set_level().
+//
+// Emission is line-atomic: the whole line (prefix + message + newline) is
+// formatted into one buffer and written with a single mutexed fwrite, so
+// lines from concurrent table jobs never interleave mid-line. Set
+// ODONN_LOG_TIMESTAMPS=1 (or set_timestamps(true)) to prefix each line
+// with an ISO-8601 UTC timestamp and a dense per-thread tag.
 #pragma once
 
 #include <sstream>
@@ -16,6 +22,10 @@ void set_level(Level lvl);
 
 /// Parse "error"/"warn"/"info"/"debug" (case-insensitive); throws ConfigError.
 Level parse_level(const std::string& name);
+
+/// Prefix lines with "2026-01-31T12:34:56.789Z t<thread>"; defaults to the
+/// ODONN_LOG_TIMESTAMPS environment variable ("1" enables).
+void set_timestamps(bool enabled);
 
 namespace detail {
 void emit(Level lvl, const std::string& message);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -11,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace odonn {
 
@@ -47,6 +49,26 @@ class ContextGuard {
   std::size_t saved_budget_;
 };
 
+#ifndef ODONN_OBS_DISABLE
+/// Per-depth queue-wait histograms (submit -> pop latency). Depths beyond
+/// 4 fold into the depth4 bucket. Only sampled when obs::detail_enabled()
+/// — stamping every task with a clock read is detail-level overhead.
+void observe_queue_wait(std::size_t depth, double wait_us) {
+  static obs::Histogram* const hists[4] = {
+      &obs::MetricsRegistry::global().histogram(
+          "parallel.queue_wait_us.depth1"),
+      &obs::MetricsRegistry::global().histogram(
+          "parallel.queue_wait_us.depth2"),
+      &obs::MetricsRegistry::global().histogram(
+          "parallel.queue_wait_us.depth3"),
+      &obs::MetricsRegistry::global().histogram(
+          "parallel.queue_wait_us.depth4"),
+  };
+  const std::size_t index = std::min<std::size_t>(depth, 4) - 1;
+  hists[index]->observe(wait_us);
+}
+#endif  // ODONN_OBS_DISABLE
+
 /// Work-queue thread pool. Built lazily on first fan-out; lives for the
 /// process. Tasks carry their nesting depth so a waiting submitter only
 /// helps with work at its own depth or deeper — a latch waiter never picks
@@ -73,9 +95,16 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   void submit(std::size_t depth, std::function<void()> fn) {
+    Task task{std::move(fn), depth, {}, false};
+#ifndef ODONN_OBS_DISABLE
+    if (obs::detail_enabled()) {
+      task.submitted = std::chrono::steady_clock::now();
+      task.timed = true;
+    }
+#endif
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.push_back(Task{std::move(fn), depth});
+      tasks_.push_back(std::move(task));
     }
     cv_.notify_one();
   }
@@ -83,19 +112,20 @@ class ThreadPool {
   /// Runs one queued task with depth >= min_depth on the calling thread.
   /// Returns false when no such task is queued.
   bool try_help(std::size_t min_depth) {
-    std::function<void()> fn;
+    Task task;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
         if (it->depth >= min_depth) {
-          fn = std::move(it->fn);
+          task = std::move(*it);
           tasks_.erase(it);
           break;
         }
       }
     }
-    if (!fn) return false;
-    fn();
+    if (!task.fn) return false;
+    note_pop(task);
+    task.fn();
     return true;
   }
 
@@ -103,19 +133,41 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::size_t depth = 0;
+    /// Submit timestamp for the queue-wait histograms; only stamped (and
+    /// `timed` set) when obs::detail_enabled() at submit time.
+    std::chrono::steady_clock::time_point submitted{};
+    bool timed = false;
   };
+
+  /// Observability bookkeeping at the moment a task leaves the queue.
+  /// Reads clocks and bumps atomics only — no effect on scheduling.
+  static void note_pop(const Task& task) {
+    ODONN_OBS_COUNT("parallel.tasks", 1);
+#ifndef ODONN_OBS_DISABLE
+    if (task.timed) {
+      const double wait_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - task.submitted)
+              .count();
+      observe_queue_wait(task.depth, wait_us);
+    }
+#else
+    (void)task;
+#endif
+  }
 
   void worker_loop() {
     for (;;) {
-      std::function<void()> fn;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
         if (stopping_ && tasks_.empty()) return;
-        fn = std::move(tasks_.front().fn);
+        task = std::move(tasks_.front());
         tasks_.pop_front();
       }
-      fn();
+      note_pop(task);
+      task.fn();
     }
   }
 

@@ -1,11 +1,13 @@
 #include "fab/montecarlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "serve/batched_forward.hpp"
 #include "tensor/stats.hpp"
 
@@ -91,6 +93,7 @@ MonteCarloEvaluator::encoded_inputs(const optics::GridSpec& grid) const {
 RobustnessReport MonteCarloEvaluator::evaluate(
     const std::string& name, const donn::DonnModel& model,
     const PerturbationStack& stack) const {
+  ODONN_OBS_SPAN(eval_span, "fab.evaluate:" + name);
   const optics::GridSpec grid = model.config().grid;
   ODONN_CHECK(eval_.image(0).rows() == grid.n &&
                   eval_.image(0).cols() == grid.n,
@@ -113,10 +116,16 @@ RobustnessReport MonteCarloEvaluator::evaluate(
   // Each slot is written exactly once at its realization index, so the
   // report is bitwise independent of thread count and scheduling.
   parallel_for(0, options_.realizations, [&](std::size_t r) {
+    const auto realization_start = std::chrono::steady_clock::now();
     Rng rng = realization_rng(options_.seed, r, options_.antithetic);
     donn::DonnModel realized = realize_device(
         model, stack, options_.crosstalk, options_.deploy_crosstalk, rng);
     report.accuracies[r] = batched_accuracy(std::move(realized), inputs, eval_);
+    ODONN_OBS_COUNT("fab.realizations", 1);
+    ODONN_OBS_HIST("fab.realization_ms",
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - realization_start)
+                       .count());
   });
 
   double sum = 0.0;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace odonn::fft {
 
@@ -173,11 +174,14 @@ std::shared_ptr<const Plan> plan_for(std::size_t n) {
   auto it = cache.plans.find(n);
   if (it != cache.plans.end()) {
     ++cache.hits;
+    ODONN_OBS_COUNT("fft.plan_cache.hits", 1);
     return it->second;
   }
   ++cache.misses;
+  ODONN_OBS_COUNT("fft.plan_cache.misses", 1);
   auto plan = std::make_shared<const Plan>(n);
   cache.plans.emplace(n, plan);
+  ODONN_OBS_GAUGE_SET("fft.plan_cache.lengths", cache.plans.size());
   return plan;
 }
 

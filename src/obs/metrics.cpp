@@ -1,0 +1,355 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "tensor/stats.hpp"
+
+namespace odonn::obs {
+namespace {
+
+/// Shortest round-trip double formatting (matches the bench JSON
+/// convention: integral values print without an exponent or trailing dot).
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  double parsed = std::strtod(buffer, nullptr);
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    if (std::strtod(candidate, nullptr) == parsed) {
+      return candidate;
+    }
+  }
+  return buffer;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "odonn_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t capacity)
+    : window_(capacity > 0 ? capacity : 1, 0.0) {}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  window_[next_] = value;
+  ++next_;
+  if (next_ == window_.size()) {
+    next_ = 0;
+    wrapped_ = true;
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::vector<double> retained;
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+      return snap;
+    }
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = min_;
+    snap.max = max_;
+    const std::size_t retained_count = wrapped_ ? window_.size() : next_;
+    retained.assign(window_.begin(),
+                    window_.begin() + static_cast<std::ptrdiff_t>(
+                                          retained_count));
+  }
+  std::sort(retained.begin(), retained.end());
+  const auto at = [&retained](double q) {
+    return retained[odonn::nearest_rank(q, retained.size()) - 1];
+  };
+  snap.p50 = at(0.50);
+  snap.p90 = at(0.90);
+  snap.p99 = at(0.99);
+  return snap;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_ = 0;
+  wrapped_ = false;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+struct MetricsRegistry::Entry {
+  enum class Kind { Counter, Gauge, Histogram };
+
+  explicit Entry(Kind k, std::size_t capacity = Histogram::kDefaultCapacity)
+      : kind(k) {
+    switch (kind) {
+      case Kind::Counter:
+        counter = std::make_unique<obs::Counter>();
+        break;
+      case Kind::Gauge:
+        gauge = std::make_unique<obs::Gauge>();
+        break;
+      case Kind::Histogram:
+        histogram = std::make_unique<obs::Histogram>(capacity);
+        break;
+    }
+  }
+
+  Kind kind;
+  std::unique_ptr<obs::Counter> counter;
+  std::unique_ptr<obs::Gauge> gauge;
+  std::unique_ptr<obs::Histogram> histogram;
+};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    // Builtin schema: every instrument the codebase wires up, registered
+    // eagerly so exports from any entry point carry the full set (a table
+    // run's metrics.json still shows the serve/fft counters, zero-valued).
+    r->counter("serve.requests");
+    r->counter("serve.batches");
+    r->counter("serve.errors");
+    r->histogram("serve.latency_ms");
+    r->histogram("serve.batch_size");
+    r->gauge("serve.queue_depth");
+    r->counter("fft.plan_cache.hits");
+    r->counter("fft.plan_cache.misses");
+    r->gauge("fft.plan_cache.lengths");
+    r->counter("train.epochs");
+    r->counter("train.robust_realizations");
+    r->histogram("train.grad_slice_ms");
+    r->counter("fab.realizations");
+    r->histogram("fab.realization_ms");
+    r->counter("pipeline.stages_run");
+    r->counter("pipeline.jobs_run");
+    r->counter("pipeline.progress_events");
+    r->counter("parallel.tasks");
+    r->histogram("parallel.queue_wait_us.depth1");
+    r->histogram("parallel.queue_wait_us.depth2");
+    r->histogram("parallel.queue_wait_us.depth3");
+    r->histogram("parallel.queue_wait_us.depth4");
+    return r;
+  }();
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() = default;
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(name, std::make_unique<Entry>(Entry::Kind::Counter))
+             .first;
+  } else if (it->second->kind != Entry::Kind::Counter) {
+    throw ConfigError("metric '" + name +
+                      "' already registered as a different kind");
+  }
+  return *it->second->counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(name, std::make_unique<Entry>(Entry::Kind::Gauge))
+             .first;
+  } else if (it->second->kind != Entry::Kind::Gauge) {
+    throw ConfigError("metric '" + name +
+                      "' already registered as a different kind");
+  }
+  return *it->second->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(name,
+                      std::make_unique<Entry>(Entry::Kind::Histogram,
+                                              capacity))
+             .first;
+  } else if (it->second->kind != Entry::Kind::Histogram) {
+    throw ConfigError("metric '" + name +
+                      "' already registered as a different kind");
+  }
+  return *it->second->histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Snapshot entry pointers under the lock, format outside it: instruments
+  // are node-stable and internally synchronized, and Histogram::snapshot()
+  // takes its own mutex.
+  std::vector<std::pair<std::string, const Entry*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      items.emplace_back(name, entry.get());
+    }
+  }
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+  for (const auto& [name, entry] : items) {
+    switch (entry->kind) {
+      case Entry::Kind::Counter:
+        counters << (first_counter ? "" : ", ") << "\"" << name
+                 << "\": " << entry->counter->value();
+        first_counter = false;
+        break;
+      case Entry::Kind::Gauge:
+        gauges << (first_gauge ? "" : ", ") << "\"" << name
+               << "\": {\"value\": " << entry->gauge->value()
+               << ", \"max\": " << entry->gauge->max_value() << "}";
+        first_gauge = false;
+        break;
+      case Entry::Kind::Histogram: {
+        const Histogram::Snapshot snap = entry->histogram->snapshot();
+        histograms << (first_histogram ? "" : ", ") << "\"" << name
+                   << "\": {\"count\": " << snap.count
+                   << ", \"sum\": " << format_double(snap.sum)
+                   << ", \"min\": " << format_double(snap.min)
+                   << ", \"max\": " << format_double(snap.max)
+                   << ", \"p50\": " << format_double(snap.p50)
+                   << ", \"p90\": " << format_double(snap.p90)
+                   << ", \"p99\": " << format_double(snap.p99) << "}";
+        first_histogram = false;
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\"counters\": {" << counters.str() << "}, \"gauges\": {"
+      << gauges.str() << "}, \"histograms\": {" << histograms.str() << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::vector<std::pair<std::string, const Entry*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      items.emplace_back(name, entry.get());
+    }
+  }
+  std::ostringstream out;
+  for (const auto& [name, entry] : items) {
+    const std::string prom = prometheus_name(name);
+    switch (entry->kind) {
+      case Entry::Kind::Counter:
+        out << "# TYPE " << prom << " counter\n"
+            << prom << " " << entry->counter->value() << "\n";
+        break;
+      case Entry::Kind::Gauge:
+        out << "# TYPE " << prom << " gauge\n"
+            << prom << " " << entry->gauge->value() << "\n"
+            << prom << "_max " << entry->gauge->max_value() << "\n";
+        break;
+      case Entry::Kind::Histogram: {
+        const Histogram::Snapshot snap = entry->histogram->snapshot();
+        out << "# TYPE " << prom << " summary\n"
+            << prom << "{quantile=\"0.5\"} " << format_double(snap.p50)
+            << "\n"
+            << prom << "{quantile=\"0.9\"} " << format_double(snap.p90)
+            << "\n"
+            << prom << "{quantile=\"0.99\"} " << format_double(snap.p99)
+            << "\n"
+            << prom << "_sum " << format_double(snap.sum) << "\n"
+            << prom << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::vector<Entry*> items;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      (void)name;
+      items.push_back(entry.get());
+    }
+  }
+  for (Entry* entry : items) {
+    switch (entry->kind) {
+      case Entry::Kind::Counter:
+        entry->counter->reset();
+        break;
+      case Entry::Kind::Gauge:
+        entry->gauge->reset();
+        break;
+      case Entry::Kind::Histogram:
+        entry->histogram->reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// -1 = read ODONN_OBS_DETAIL on first use; 0/1 afterwards.
+std::atomic<int> g_detail{-1};
+
+}  // namespace
+
+bool detail_enabled() {
+  int state = g_detail.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("ODONN_OBS_DETAIL");
+    state = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_detail.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+}
+
+void set_detail(bool enabled) {
+  g_detail.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace odonn::obs

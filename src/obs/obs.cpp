@@ -1,0 +1,15 @@
+#include "obs/obs.hpp"
+
+#include <sstream>
+
+namespace odonn::obs {
+
+std::string export_json() {
+  std::ostringstream out;
+  out << "{\"metrics\": " << MetricsRegistry::global().to_json()
+      << ", \"spans\": " << spans_json()
+      << ", \"trace_dropped\": " << trace_dropped() << "}";
+  return out.str();
+}
+
+}  // namespace odonn::obs

@@ -1,0 +1,73 @@
+// Umbrella header for the observability subsystem: pulls in the metrics
+// registry and trace spans and defines the instrumentation macros the rest
+// of the codebase uses.
+//
+// The macros cache the registry lookup in a function-local static (one
+// mutexed map lookup per call SITE, then a single relaxed atomic RMW per
+// call), and compiling with -DODONN_OBS_DISABLE collapses every macro to a
+// no-op with the name/value expressions unevaluated — the zero-cost
+// escape hatch the determinism guarantee is checked against
+// (tests/helpers/obs_disabled_helper.cpp builds against that mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace odonn::obs {
+
+/// Combined export: {"metrics": <MetricsRegistry::to_json()>,
+/// "spans": <spans_json()>, "trace_dropped": N}. The shape written by the
+/// CLI `metrics=` key and embedded in bench records.
+std::string export_json();
+
+}  // namespace odonn::obs
+
+#ifdef ODONN_OBS_DISABLE
+
+#define ODONN_OBS_COUNT(name, ...) \
+  do {                             \
+  } while (0)
+#define ODONN_OBS_GAUGE_SET(name, ...) \
+  do {                                 \
+  } while (0)
+#define ODONN_OBS_HIST(name, ...) \
+  do {                            \
+  } while (0)
+/// Declares an inert span; the name expression is never evaluated.
+#define ODONN_OBS_SPAN(var, ...) ::odonn::obs::TraceSpan var
+
+#else
+
+/// Adds the (variadic, so commas are fine) count expression to counter
+/// `name` (registered on first execution of the call site, cached
+/// thereafter).
+#define ODONN_OBS_COUNT(name, ...)                                     \
+  do {                                                                 \
+    static ::odonn::obs::Counter& odonn_obs_instrument_ =              \
+        ::odonn::obs::MetricsRegistry::global().counter(name);         \
+    odonn_obs_instrument_.add(static_cast<std::uint64_t>(__VA_ARGS__)); \
+  } while (0)
+
+#define ODONN_OBS_GAUGE_SET(name, ...)                                 \
+  do {                                                                 \
+    static ::odonn::obs::Gauge& odonn_obs_instrument_ =                \
+        ::odonn::obs::MetricsRegistry::global().gauge(name);           \
+    odonn_obs_instrument_.set(static_cast<std::int64_t>(__VA_ARGS__)); \
+  } while (0)
+
+#define ODONN_OBS_HIST(name, ...)                                      \
+  do {                                                                 \
+    static ::odonn::obs::Histogram& odonn_obs_instrument_ =            \
+        ::odonn::obs::MetricsRegistry::global().histogram(name);       \
+    odonn_obs_instrument_.observe(static_cast<double>(__VA_ARGS__));   \
+  } while (0)
+
+/// Declares a named RAII span `var` covering the rest of the scope; inert
+/// (no clock reads, no allocation) unless tracing_enabled().
+#define ODONN_OBS_SPAN(var, ...) \
+  ::odonn::obs::TraceSpan var { __VA_ARGS__ }
+
+#endif  // ODONN_OBS_DISABLE

@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace odonn::obs {
+namespace {
+
+constexpr std::size_t kMaxTraceEvents = std::size_t{1} << 16;
+
+/// -1 = read ODONN_TRACE on first use; 0/1 afterwards.
+std::atomic<int> g_tracing{-1};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+/// Leaked: spans on pool workers may finish during static destruction.
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+/// Process trace epoch: all span timestamps are offsets from the first
+/// clock read, keeping exported values small and run-relative.
+std::chrono::steady_clock::time_point epoch() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch())
+      .count();
+}
+
+std::atomic<std::uint32_t> g_next_thread_tag{0};
+thread_local std::uint32_t t_thread_tag = 0xffffffffu;
+thread_local std::uint32_t t_span_depth = 0;
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "_";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  int s = g_tracing.load(std::memory_order_relaxed);
+  if (s < 0) {
+    const char* env = std::getenv("ODONN_TRACE");
+    s = (env != nullptr && env[0] == '1') ? 1 : 0;
+    g_tracing.store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+void set_tracing(bool enabled) {
+  if (enabled) {
+    epoch();  // pin the epoch before the first span
+  }
+  g_tracing.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::uint32_t thread_tag() {
+  if (t_thread_tag == 0xffffffffu) {
+    t_thread_tag = g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_tag;
+}
+
+std::vector<TraceEvent> trace_events() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.events;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.events.clear();
+  s.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped() {
+  return state().dropped.load(std::memory_order_relaxed);
+}
+
+std::string trace_to_chrome_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(e.name)
+        << "\", \"cat\": \"odonn\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << e.tid << ", \"ts\": " << e.start_us
+        << ", \"dur\": " << e.duration_us << ", \"args\": {\"depth\": "
+        << e.depth << "}}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string spans_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(e.name)
+        << "\", \"tid\": " << e.tid << ", \"depth\": " << e.depth
+        << ", \"start_us\": " << e.start_us << ", \"duration_us\": "
+        << e.duration_us << "}";
+    first = false;
+  }
+  out << "]";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(std::string name) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  active_ = true;
+  name_ = std::move(name);
+  depth_ = ++t_span_depth;
+  start_us_ = now_us();
+}
+
+void TraceSpan::finish() {
+  const std::int64_t end_us = now_us();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = thread_tag();
+  event.depth = depth_;
+  event.start_us = start_us_;
+  event.duration_us = end_us - start_us_;
+  --t_span_depth;
+  active_ = false;
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.events.size() >= kMaxTraceEvents) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.events.push_back(std::move(event));
+}
+
+}  // namespace odonn::obs

@@ -1,0 +1,80 @@
+// Scoped wall-clock trace spans with parent/child nesting, collected into
+// a process-global bounded event list and exported as Chrome-trace JSON
+// (chrome://tracing / Perfetto "traceEvents" complete events) or a plain
+// span list.
+//
+// Spans are RAII: construction stamps the start, destruction appends one
+// event. Nesting depth is tracked per thread, so a span opened inside
+// another span on the same thread records depth parent+1 — enough to
+// reconstruct the tree without explicit parent ids (Chrome-trace infers
+// the same nesting from the [ts, ts+dur] containment per tid).
+//
+// Tracing is OFF by default (spans constructed while disabled are inert:
+// no clock reads, no allocation) and switched on by the CLI
+// `metrics=`/`trace=` keys or ODONN_TRACE=1. Like the metrics registry,
+// collection never feeds back into computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odonn::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;    ///< small per-process thread tag, not the OS id
+  std::uint32_t depth = 0;  ///< 1 = top-level span on its thread
+  std::int64_t start_us = 0;  ///< since the process trace epoch
+  std::int64_t duration_us = 0;
+};
+
+bool tracing_enabled();
+void set_tracing(bool enabled);
+
+/// Snapshot of all finished spans, in completion order.
+std::vector<TraceEvent> trace_events();
+
+/// Drops all collected events (the bounded buffer refills afterwards).
+void clear_trace();
+
+/// Events dropped because the bounded buffer (64k events) was full.
+std::uint64_t trace_dropped();
+
+/// Chrome-trace format: {"traceEvents": [{"name", "cat", "ph": "X", "pid",
+/// "tid", "ts", "dur", "args": {"depth"}}]}. Load in chrome://tracing or
+/// https://ui.perfetto.dev.
+std::string trace_to_chrome_json();
+
+/// Plain JSON array of spans: [{"name", "tid", "depth", "start_us",
+/// "duration_us"}] — the shape embedded in metrics exports.
+std::string spans_json();
+
+/// Small dense tag for the calling thread (0, 1, 2, ... in first-use
+/// order). Also used by the log timestamp prefix.
+std::uint32_t thread_tag();
+
+/// RAII span. The default constructor is inert (used by the disabled-macro
+/// path); the named constructor is inert too when tracing is off.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(std::string name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (active_) {
+      finish();
+    }
+  }
+
+ private:
+  void finish();
+
+  bool active_ = false;
+  std::string name_;
+  std::uint32_t depth_ = 0;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace odonn::obs

@@ -18,6 +18,15 @@
 // jobs finish; jobs not yet started are abandoned. Completed jobs that
 // were checkpointing keep their checkpoints, so a rerun with resume=true
 // fast-forwards them (tests/executor_test.cpp).
+//
+// Streaming progress: ExecutorOptions::progress receives one event at
+// every stage start and end of every job AS IT HAPPENS (not buffered until
+// the table returns). Events from concurrent jobs are serialized through
+// an internal mutex, so the sink itself need not be thread-safe; ordering
+// across jobs is scheduling-dependent, ordering within a job is the stage
+// order. Installing a progress sink overwrites any observer previously
+// set on the job pipelines (the runner implements streaming through the
+// same observer slot).
 #pragma once
 
 #include <functional>
@@ -28,6 +37,23 @@
 
 namespace odonn::pipeline {
 
+/// One streamed stage event from a running table. `finished == false` is
+/// a stage start (seconds/skipped not yet meaningful); `finished == true`
+/// carries the stage's StageTiming fields.
+struct StageProgressEvent {
+  std::size_t job = 0;      ///< index into the submitted job vector
+  std::string label;        ///< PipelineJob::label
+  std::size_t stage = 0;    ///< stage index within the job's pipeline
+  std::string stage_name;
+  bool finished = false;
+  double seconds = 0.0;     ///< valid when finished
+  bool skipped = false;     ///< valid when finished
+};
+
+/// Called under the runner's progress mutex — events never interleave,
+/// but the sink should stay cheap (it blocks that job's next stage).
+using ProgressSink = std::function<void(const StageProgressEvent&)>;
+
 struct ExecutorOptions {
   /// Max pipelines in flight. 1 = the sequential reference path (runs on
   /// the caller, full pool budget per job — exactly the classic loop).
@@ -35,6 +61,8 @@ struct ExecutorOptions {
   /// Inner parallel budget per running job; 0 = thread_count() split
   /// evenly across the concurrent lanes.
   std::size_t inner_threads = 0;
+  /// Streaming per-stage progress (see header comment). May be empty.
+  ProgressSink progress;
 };
 
 struct PipelineJob {

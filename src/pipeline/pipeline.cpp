@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace odonn::pipeline {
 
@@ -14,6 +15,13 @@ namespace fs = std::filesystem;
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Trace-span name for one stage run: "stage:<label>/<name>" with the
+/// job label when the executor provided one.
+std::string span_name(const RunOptions& options, const std::string& stage) {
+  if (options.trace_label.empty()) return "stage:" + stage;
+  return "stage:" + options.trace_label + "/" + stage;
+}
 
 // A checkpoint directory counts as complete only once its marker exists;
 // the marker is written last, so a crash mid-save is never resumed from.
@@ -105,7 +113,11 @@ std::vector<StageTiming> Pipeline::run(ArtifactStore& store,
       // store so a resumed run is equivalent to an uninterrupted one.
       if (observer_.on_stage_start) observer_.on_stage_start(i, stage);
       const Clock::time_point t0 = Clock::now();
-      stage.run(store);
+      {
+        ODONN_OBS_SPAN(stage_span, span_name(options, stage.name()));
+        stage.run(store);
+      }
+      ODONN_OBS_COUNT("pipeline.stages_run", 1);
       timing.seconds =
           std::chrono::duration<double>(Clock::now() - t0).count();
       timing.skipped = false;
@@ -118,7 +130,11 @@ std::vector<StageTiming> Pipeline::run(ArtifactStore& store,
     Stage& stage = *stages_[i];
     if (observer_.on_stage_start) observer_.on_stage_start(i, stage);
     const Clock::time_point t0 = Clock::now();
-    stage.run(store);
+    {
+      ODONN_OBS_SPAN(stage_span, span_name(options, stage.name()));
+      stage.run(store);
+    }
+    ODONN_OBS_COUNT("pipeline.stages_run", 1);
     StageTiming timing{i, stage.name(),
                        std::chrono::duration<double>(Clock::now() - t0).count(),
                        /*skipped=*/false};

@@ -44,6 +44,11 @@ struct RunOptions {
   /// Resume from the latest complete checkpoint that matches this
   /// pipeline's stage sequence (requires checkpoint_dir).
   bool resume = false;
+  /// Observability only: per-stage trace spans are named
+  /// "stage:<trace_label>/<stage name>" when set ("stage:<stage name>"
+  /// otherwise). The parallel executor fills in the job label so spans
+  /// from concurrent recipes stay attributable.
+  std::string trace_label;
 };
 
 class Pipeline {

@@ -103,6 +103,20 @@ std::vector<RecipeResult> run_recipes(const std::vector<RecipeRequest>& requests
   pl::ExecutorOptions executor;
   executor.jobs = table.jobs;
   executor.inner_threads = table.inner_threads;
+  if (table.progress) {
+    // Adapt the train-layer sink to the executor's event type (the two
+    // structs mirror each other; train must not include pipeline headers).
+    executor.progress = [&table](const pl::StageProgressEvent& event) {
+      TableProgress progress;
+      progress.label = event.label;
+      progress.stage = event.stage;
+      progress.stage_name = event.stage_name;
+      progress.finished = event.finished;
+      progress.seconds = event.seconds;
+      progress.skipped = event.skipped;
+      table.progress(progress);
+    };
+  }
   auto job_results = pl::ParallelTableRunner(executor).run(std::move(jobs));
 
   std::vector<RecipeResult> rows;

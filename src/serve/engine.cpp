@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace odonn::serve {
 
@@ -32,6 +33,7 @@ std::future<PredictResult> InferenceEngine::submit(
       throw Error("engine: request queue full");
     }
     queue_.push_back(std::move(request));
+    ODONN_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
   }
   cv_.notify_one();
   return future;
@@ -76,6 +78,7 @@ void InferenceEngine::drain_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      ODONN_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
     }
 
     // Group by model, preserving submission order within each group.

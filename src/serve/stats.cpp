@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "tensor/stats.hpp"
 
 namespace odonn::serve {
@@ -25,6 +26,8 @@ double percentile(std::vector<double>& values, double q) {
 }  // namespace
 
 void ServeStats::record_request(double latency_seconds) {
+  ODONN_OBS_COUNT("serve.requests", 1);
+  ODONN_OBS_HIST("serve.latency_ms", latency_seconds * 1e3);
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
   ++requests_;
@@ -43,12 +46,15 @@ void ServeStats::record_request(double latency_seconds) {
 }
 
 void ServeStats::record_batch(std::size_t size) {
+  ODONN_OBS_COUNT("serve.batches", 1);
+  ODONN_OBS_HIST("serve.batch_size", size);
   std::lock_guard<std::mutex> lock(mutex_);
   ++batches_;
   batched_samples_ += size;
 }
 
 void ServeStats::record_error() {
+  ODONN_OBS_COUNT("serve.errors", 1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++errors_;
 }
@@ -70,6 +76,13 @@ ServeStats::Snapshot ServeStats::snapshot() const {
     if (have_first_) {
       snap.window_seconds =
           std::chrono::duration<double>(last_done_ - first_done_).count();
+      if (snap.window_seconds <= 0.0 && requests_ >= 1) {
+        // A single completed request (or several on one clock tick) spans
+        // zero wall time, which would report 0 RPS (and previously an
+        // infinite/zero split). Fall back to the slowest request's latency
+        // as the window: the honest lower bound on elapsed serving time.
+        snap.window_seconds = max_latency_;
+      }
     }
   }
   snap.p50_ms = percentile(window, 0.50) * 1e3;

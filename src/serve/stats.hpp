@@ -7,7 +7,13 @@
 // (odonn::nearest_rank in tensor/stats: p(q) = sorted[ceil(q*count)]
 // counting from 1, boundary-exact at integral q*count). Throughput is
 // completed requests divided by the span between the first and last
-// completion.
+// completion; when that span is zero (a single request, or several on one
+// clock tick) the slowest request's latency stands in as the window so
+// smoke benches never report 0 RPS.
+//
+// record_* calls also mirror into the process-wide metrics registry
+// (obs/obs.hpp: serve.requests / serve.batches / serve.errors counters,
+// serve.latency_ms / serve.batch_size histograms).
 //
 // Thread safety: all members are safe for concurrent use (internal mutex).
 #pragma once
@@ -33,7 +39,9 @@ class ServeStats {
     double p90_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
-    double window_seconds = 0.0;     ///< first-to-last completion span
+    /// First-to-last completion span; the slowest request's latency when
+    /// that span collapses to zero (single-request fallback).
+    double window_seconds = 0.0;
     double throughput_rps = 0.0;     ///< requests / window_seconds
   };
 

@@ -9,6 +9,7 @@
 // accuracy under the interpixel-crosstalk deployment emulation.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,22 @@ struct RecipeRequest {
 /// identical for every jobs= / inner_threads= combination: each recipe is
 /// deterministic over its own ArtifactStore (pipeline::ParallelTableRunner
 /// contract).
+/// One streamed stage event from a running table (mirrors
+/// pipeline::StageProgressEvent without depending on pipeline headers —
+/// the dependency arrow stays train <- pipeline).
+struct TableProgress {
+  std::string label;       ///< recipe row label
+  std::size_t stage = 0;   ///< stage index within the recipe's pipeline
+  std::string stage_name;
+  bool finished = false;   ///< false = stage start, true = stage end
+  double seconds = 0.0;    ///< valid when finished
+  bool skipped = false;    ///< checkpoint fast-forward (valid when finished)
+};
+
+/// Invoked serially (never concurrently) as stages of any recipe start and
+/// finish — live streaming, not buffered until the table returns.
+using TableProgressSink = std::function<void(const TableProgress&)>;
+
 struct TableRunOptions {
   std::size_t jobs = 1;           ///< concurrent recipes (1 = sequential)
   std::size_t inner_threads = 0;  ///< per-recipe thread budget (0 = auto)
@@ -86,6 +103,9 @@ struct TableRunOptions {
   /// recipes that completed, even after a parallel run failed midway.
   std::string checkpoint_dir;
   bool resume = false;
+  /// Streaming per-stage progress events (observability only: has no
+  /// effect on results). May be empty.
+  TableProgressSink progress;
 };
 
 /// Runs every requested recipe — concurrently when table.jobs > 1 — and

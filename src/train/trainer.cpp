@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "optics/encode.hpp"
 #include "train/schedule.hpp"
 
@@ -86,6 +88,8 @@ void Trainer::compress_round(double surrogate_loss) {
 }
 
 EpochStats Trainer::run_epoch() {
+  ODONN_OBS_SPAN(epoch_span, "train.epoch");
+  ODONN_OBS_COUNT("train.epochs", 1);
   // Epoch-wise augmentation: train this pass on a freshly jittered copy.
   data::Dataset augmented;
   const data::Dataset& epoch_data =
@@ -125,6 +129,7 @@ EpochStats Trainer::run_epoch() {
   std::uint64_t realization_base = realization_counter_;
   if (robust && options_.robust.per_epoch) {
     realization_counter_ += realizations;
+    ODONN_OBS_COUNT("train.robust_realizations", realizations);
   }
 
   for (std::size_t batch = 0; batch < batches; ++batch) {
@@ -141,6 +146,7 @@ EpochStats Trainer::run_epoch() {
       if (!options_.robust.per_epoch) {
         realization_base = realization_counter_;
         realization_counter_ += realizations;
+        ODONN_OBS_COUNT("train.robust_realizations", realizations);
       }
       realized.resize(realizations);
       parallel_for(0, realizations, [&](std::size_t k) {
@@ -170,6 +176,7 @@ EpochStats Trainer::run_epoch() {
 
     SliceAccumulator acc(slots, model_);
     parallel_for(0, slots, [&](std::size_t slot) {
+      const auto slot_start = std::chrono::steady_clock::now();
       // Gradients flow through the perturbed deployment but are applied to
       // the clean phases below — the straight-through weight-noise-
       // injection estimator of the expected fabricated loss.
@@ -190,6 +197,10 @@ EpochStats Trainer::run_epoch() {
         acc.losses[slot] += result.loss;
         if (result.predicted == epoch_data.label(idx)) ++acc.correct[slot];
       }
+      ODONN_OBS_HIST("train.grad_slice_ms",
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - slot_start)
+                         .count());
     });
 
     // Reduce slots in index order (realization-major; bitwise identical

@@ -198,6 +198,64 @@ TEST(ExecutorFailure, FailingJobPropagatesItsException) {
                NumericsError);
 }
 
+TEST(ExecutorProgress, StreamsExactlyOneStartAndEndPerStage) {
+  ensure_parallel_pool();
+  const TinySetup setup = tiny_setup(143);
+
+  std::vector<PipelineJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    PipelineJob job;
+    job.label = "job" + std::to_string(i);
+    job.pipeline = build_pipeline(
+        {{StageKind::Train, StageKind::Report}, {}}, setup.options);
+    job.setup = [&setup](ArtifactStore& store) {
+      store.set_data(&setup.train, &setup.test);
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  // The runner serializes sink calls through its own mutex, so a plain
+  // vector is safe even with all three jobs in flight.
+  std::vector<StageProgressEvent> events;
+  ExecutorOptions options;
+  options.jobs = 3;
+  options.progress = [&events](const StageProgressEvent& event) {
+    events.push_back(event);
+  };
+  const auto results = ParallelTableRunner(options).run(std::move(jobs));
+  ASSERT_EQ(results.size(), 3u);
+
+  // Exactly one start and one end per (job, stage), start before end,
+  // nothing skipped, and the labels/stage names round-trip.
+  ASSERT_EQ(events.size(), 3u * 2u * 2u);
+  for (std::size_t job = 0; job < 3; ++job) {
+    for (std::size_t stage = 0; stage < 2; ++stage) {
+      int starts = 0;
+      int ends = 0;
+      std::ptrdiff_t start_at = -1;
+      std::ptrdiff_t end_at = -1;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto& event = events[i];
+        if (event.job != job || event.stage != stage) continue;
+        EXPECT_EQ(event.label, "job" + std::to_string(job));
+        EXPECT_EQ(event.stage_name, stage == 0 ? "train" : "report");
+        if (event.finished) {
+          ++ends;
+          end_at = static_cast<std::ptrdiff_t>(i);
+          EXPECT_GE(event.seconds, 0.0);
+          EXPECT_FALSE(event.skipped);
+        } else {
+          ++starts;
+          start_at = static_cast<std::ptrdiff_t>(i);
+        }
+      }
+      EXPECT_EQ(starts, 1) << "job" << job << " stage " << stage;
+      EXPECT_EQ(ends, 1) << "job" << job << " stage " << stage;
+      EXPECT_LT(start_at, end_at) << "job" << job << " stage " << stage;
+    }
+  }
+}
+
 TEST(ExecutorResume, PartiallyCompletedParallelTableResumesFromCheckpoints) {
   ensure_parallel_pool();
   const TinySetup setup = tiny_setup(141);

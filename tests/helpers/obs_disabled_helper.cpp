@@ -1,0 +1,34 @@
+// Compiled with -DODONN_OBS_DISABLE (CMakeLists.txt sets the definition on
+// this TU only): proves the instrumentation macros collapse to true no-ops
+// in that mode — name and value expressions unevaluated, nothing
+// registered, no trace events.
+#include "obs_disabled_helper.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.hpp"
+
+#ifndef ODONN_OBS_DISABLE
+#error "obs_disabled_helper.cpp must be compiled with ODONN_OBS_DISABLE"
+#endif
+
+namespace odonn::obs_disabled {
+
+int run_disabled_instrumentation() {
+  int evaluations = 0;
+  const auto touch = [&evaluations]() -> std::uint64_t {
+    ++evaluations;
+    return 1;
+  };
+  (void)touch;  // every use below is inside a disabled macro
+  ODONN_OBS_COUNT("disabled.count", touch());
+  ODONN_OBS_GAUGE_SET("disabled.gauge", touch());
+  ODONN_OBS_HIST("disabled.hist", touch());
+  {
+    ODONN_OBS_SPAN(span, "disabled.span" + std::to_string(touch()));
+  }
+  return evaluations;
+}
+
+}  // namespace odonn::obs_disabled

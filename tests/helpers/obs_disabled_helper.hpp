@@ -1,0 +1,14 @@
+// Declaration for the one TU compiled with -DODONN_OBS_DISABLE (see the
+// obs_test block in CMakeLists.txt). Lives in tests/helpers/ so the
+// tests/*.cpp glob does not turn it into its own test binary.
+#pragma once
+
+namespace odonn::obs_disabled {
+
+/// Runs every ODONN_OBS_* macro — compiled in disabled mode — with
+/// side-effecting name/value arguments. Returns how many times those
+/// arguments were evaluated; the disabled macros must never evaluate
+/// them, so the answer is 0 and nothing appears in the registry.
+int run_disabled_instrumentation();
+
+}  // namespace odonn::obs_disabled

@@ -1,0 +1,264 @@
+// Tests for src/obs: registry semantics and thread-safety, histogram
+// window/percentile parity with the repo-wide nearest-rank rule, trace
+// span nesting/ordering, exporter shapes, and the ODONN_OBS_DISABLE
+// no-op proof (tests/helpers/obs_disabled_helper.cpp is the one TU in
+// this binary compiled with the macro layer disabled).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "helpers/obs_disabled_helper.hpp"
+#include "obs/obs.hpp"
+#include "tensor/stats.hpp"
+
+namespace odonn {
+namespace {
+
+TEST(Counter, AddValueReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MaxWatermarkSurvivesDrop) {
+  obs::Gauge g;
+  g.set(5);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max_value(), 5);
+  g.add(10);
+  EXPECT_EQ(g.value(), 12);
+  EXPECT_EQ(g.max_value(), 12);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max_value(), 0);
+}
+
+TEST(Histogram, EmptySnapshotIsZeroed) {
+  obs::Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p90, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(Histogram, PercentilesMatchNearestRankRule) {
+  // Fewer observations than the window: percentiles must agree exactly
+  // with percentile_nearest_rank over the full sample, same as fab's
+  // robustness percentiles and serve's latency percentiles.
+  obs::Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = static_cast<double>((i * 37) % 500) * 0.5;
+    h.observe(v);
+    values.push_back(v);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 500u);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.5 * 499.0);
+  EXPECT_EQ(snap.p50, percentile_nearest_rank(values, 0.5));
+  EXPECT_EQ(snap.p90, percentile_nearest_rank(values, 0.9));
+  EXPECT_EQ(snap.p99, percentile_nearest_rank(values, 0.99));
+}
+
+TEST(Histogram, WindowBoundedButTotalsCoverEverything) {
+  // Ring window of 8: percentiles see only the last 8 observations,
+  // count/sum/min/max keep covering all of them.
+  obs::Histogram h(8);
+  double sum = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    h.observe(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 20u);
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 20.0);
+  const std::vector<double> retained = {13, 14, 15, 16, 17, 18, 19, 20};
+  EXPECT_EQ(snap.p50, percentile_nearest_rank(retained, 0.5));
+  EXPECT_EQ(snap.p90, percentile_nearest_rank(retained, 0.9));
+  EXPECT_EQ(snap.p99, percentile_nearest_rank(retained, 0.99));
+}
+
+TEST(MetricsRegistry, ConcurrentLookupAndAddIsExact) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.concurrent");
+  counter.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Lookup + add on every iteration: stresses the registry map
+        // under contention, not just the atomic.
+        registry.counter("test.concurrent").add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Node stability: repeated lookups return the same instrument.
+  EXPECT_EQ(&registry.counter("test.concurrent"), &counter);
+}
+
+TEST(MetricsRegistry, NameBoundToOneKind) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.kind");
+  EXPECT_THROW(registry.gauge("test.kind"), ConfigError);
+  EXPECT_THROW(registry.histogram("test.kind"), ConfigError);
+  EXPECT_THROW(registry.counter("serve.queue_depth"), ConfigError);
+}
+
+TEST(MetricsRegistry, BuiltinSchemaPreRegistered) {
+  const auto names = obs::MetricsRegistry::global().names();
+  const auto has = [&names](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("serve.requests"));
+  EXPECT_TRUE(has("serve.latency_ms"));
+  EXPECT_TRUE(has("serve.queue_depth"));
+  EXPECT_TRUE(has("fft.plan_cache.hits"));
+  EXPECT_TRUE(has("train.epochs"));
+  EXPECT_TRUE(has("fab.realizations"));
+  EXPECT_TRUE(has("pipeline.stages_run"));
+  EXPECT_TRUE(has("parallel.tasks"));
+  EXPECT_TRUE(has("parallel.queue_wait_us.depth1"));
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(MetricsRegistry, JsonExporterShape) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.json.counter").reset();
+  registry.counter("test.json.counter").add(3);
+  registry.gauge("test.json.gauge").reset();
+  registry.gauge("test.json.gauge").set(7);
+  registry.gauge("test.json.gauge").set(2);
+  registry.histogram("test.json.hist").reset();
+  registry.histogram("test.json.hist").observe(1.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": {\"value\": 2, \"max\": 7}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, TextExporterIsPrometheusShaped) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.text.counter").reset();
+  registry.counter("test.text.counter").add(9);
+  registry.histogram("test.text.hist").reset();
+  registry.histogram("test.text.hist").observe(4.0);
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("# TYPE odonn_test_text_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("odonn_test_text_counter 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE odonn_test_text_hist summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("odonn_test_text_hist{quantile=\"0.5\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("odonn_test_text_hist_count 1"), std::string::npos);
+  EXPECT_NE(text.find("odonn_test_text_hist_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE odonn_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("odonn_serve_queue_depth_max "), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlace) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& counter = registry.counter("test.reset.counter");
+  counter.add(5);
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  // The node survived: the cached reference is still the live instrument.
+  counter.add(2);
+  EXPECT_EQ(registry.counter("test.reset.counter").value(), 2u);
+}
+
+TEST(Trace, SpansInertWhileDisabled) {
+  obs::set_tracing(false);
+  obs::clear_trace();
+  {
+    obs::TraceSpan span("never.recorded");
+  }
+  EXPECT_TRUE(obs::trace_events().empty());
+}
+
+TEST(Trace, NestedSpansRecordDepthAndContainment) {
+  obs::set_tracing(true);
+  obs::clear_trace();
+  {
+    obs::TraceSpan outer("outer");
+    {
+      obs::TraceSpan inner("inner");
+    }
+  }
+  obs::set_tracing(false);
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // Completion order: inner finishes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // [start, start+dur] containment per thread is what Chrome-trace uses
+  // to rebuild the nesting.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].duration_us,
+            events[1].start_us + events[1].duration_us);
+  const std::string chrome = obs::trace_to_chrome_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+  const std::string spans = obs::spans_json();
+  EXPECT_NE(spans.find("\"duration_us\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(Trace, ThreadTagsAreDenseAndStable) {
+  const std::uint32_t main_tag = obs::thread_tag();
+  EXPECT_EQ(obs::thread_tag(), main_tag);
+  std::uint32_t other_tag = main_tag;
+  std::thread worker([&other_tag] { other_tag = obs::thread_tag(); });
+  worker.join();
+  EXPECT_NE(other_tag, main_tag);
+}
+
+TEST(ObsDisabled, MacrosEvaluateNothingAndRegisterNothing) {
+  EXPECT_EQ(obs_disabled::run_disabled_instrumentation(), 0);
+  for (const auto& name : obs::MetricsRegistry::global().names()) {
+    EXPECT_NE(name.rfind("disabled.", 0), 0u) << name;
+  }
+}
+
+TEST(ExportJson, CombinedShape) {
+  const std::string combined = obs::export_json();
+  EXPECT_NE(combined.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(combined.find("\"spans\""), std::string::npos);
+  EXPECT_NE(combined.find("\"trace_dropped\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odonn

@@ -363,6 +363,41 @@ TEST(Stats, NearestRankPercentilesAndCounters) {
   EXPECT_EQ(cleared.p99_ms, 0.0);
 }
 
+TEST(Stats, SingleRequestWindowFallsBackToItsLatency) {
+  // One completed request: first and last completion coincide, so the
+  // wall-clock window collapses to zero. The slowest latency stands in,
+  // so a smoke bench with one request still reports a finite RPS.
+  ServeStats stats;
+  stats.record_request(0.004);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.requests, 1u);
+  EXPECT_NEAR(snap.window_seconds, 0.004, 1e-12);
+  EXPECT_NEAR(snap.throughput_rps, 250.0, 1e-6);
+}
+
+TEST(Engine, WarmEngineServesFromPlanCacheOnly) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 171));
+  const auto inputs = random_inputs(cfg.grid, 24, 172);
+
+  InferenceEngine engine(registry);
+  // Warm-up traffic builds whatever plan lengths this grid needs.
+  for (std::size_t k = 0; k < 8; ++k) {
+    (void)engine.submit("m", inputs[k]).get();
+  }
+  const auto warm = fft::plan_cache_stats();
+  for (std::size_t k = 8; k < inputs.size(); ++k) {
+    (void)engine.submit("m", inputs[k]).get();
+  }
+  const auto after = fft::plan_cache_stats();
+  // A warmed engine is all cache hits: misses and resident lengths stay
+  // flat while hits grow with traffic.
+  EXPECT_EQ(after.misses, warm.misses);
+  EXPECT_EQ(after.cached_lengths, warm.cached_lengths);
+  EXPECT_GT(after.hits, warm.hits);
+}
+
 TEST(Engine, ResolvesRequestsMatchingSingleSamplePath) {
   auto registry = std::make_shared<ModelRegistry>();
   const donn::DonnConfig cfg = tiny_config(16, 2);
