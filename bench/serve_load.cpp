@@ -1,0 +1,322 @@
+// Serve-cluster load bench: closed- and open-loop load generation against
+// ServeCluster, sweeping replica counts and offered QPS.
+//
+// Two phases:
+//   1. Closed loop (saturation): for each replica count 1..replicas=, every
+//      request is submitted at once and the cluster drains flat out. Each
+//      replica pins inner_threads=1 so the kernel runs inline on the drain
+//      thread and REPLICATION is the only scaling lever — what the
+//      replicas=2 >= 1.5x replicas=1 check measures on multi-core hosts
+//      (self-skipped with a logged reason on small containers, same rule as
+//      bench/table_parallel).
+//   2. Open loop (SLO curve): requests arrive on a fixed schedule at
+//      offered rates derived from the measured saturation (0.5x / 0.9x /
+//      1.3x), submitted the moment their arrival time passes regardless of
+//      completions. Rejections (OverloadError under the bounded queue) are
+//      counted, never retried.
+//
+// Latency percentiles (p50/p99/p999) come from the replicas' retained
+// windows concatenated, through the repo-wide nearest-rank rule
+// (odonn::percentile_nearest_rank). Predictions are digested FNV-1a over
+// the IEEE-754 bits of every detector sum in submit order; the digest must
+// be identical across replica counts (checked here) and across
+// ODONN_THREADS (checked by scripts/check.sh).
+//
+// Emits a JSON perf record after the table:
+//   { "bench": "serve_load", "grid": ..., "requests": ..., "threads": ...,
+//     "digest": "....", "speedup": ..., "closed": [...], "open": [...] }
+//
+//   ./serve_load [grid=32] [requests=192] [replicas=2] [max_batch=8]
+//                [queue_depth=65536] [continuous=1] [seed=7] [format=both]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "donn/model.hpp"
+#include "optics/encode.hpp"
+#include "serve/cluster.hpp"
+#include "serve/registry.hpp"
+#include "tensor/stats.hpp"
+
+using namespace odonn;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Latency windows of every replica, concatenated (seconds).
+std::vector<double> merged_latencies(const serve::ServeCluster& cluster) {
+  std::vector<double> merged;
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+    const std::vector<double> window = cluster.replica(i).latency_window();
+    merged.insert(merged.end(), window.begin(), window.end());
+  }
+  return merged;
+}
+
+struct Percentiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+Percentiles percentiles_ms(const std::vector<double>& latencies) {
+  Percentiles p;
+  if (latencies.empty()) return p;
+  p.p50_ms = percentile_nearest_rank(latencies, 0.50) * 1e3;
+  p.p99_ms = percentile_nearest_rank(latencies, 0.99) * 1e3;
+  p.p999_ms = percentile_nearest_rank(latencies, 0.999) * 1e3;
+  return p;
+}
+
+struct ClosedRow {
+  std::size_t replicas = 0;
+  double saturation_rps = 0.0;
+  double mean_batch = 0.0;
+  Percentiles lat;
+  std::uint64_t digest = kFnv1aBasis;
+};
+
+struct OpenRow {
+  double offered_qps = 0.0;
+  double achieved_rps = 0.0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  Percentiles lat;
+};
+
+std::string json_closed(const ClosedRow& r) {
+  return "{\"replicas\": " + std::to_string(r.replicas) +
+         ", \"saturation_rps\": " + bench::json_number(r.saturation_rps) +
+         ", \"mean_batch\": " + bench::json_number(r.mean_batch) +
+         ", \"p50_ms\": " + bench::json_number(r.lat.p50_ms) +
+         ", \"p99_ms\": " + bench::json_number(r.lat.p99_ms) +
+         ", \"p999_ms\": " + bench::json_number(r.lat.p999_ms) +
+         ", \"digest\": \"" + bench::hex64(r.digest) + "\"}";
+}
+
+std::string json_open(const OpenRow& r) {
+  return "{\"offered_qps\": " + bench::json_number(r.offered_qps) +
+         ", \"achieved_rps\": " + bench::json_number(r.achieved_rps) +
+         ", \"submitted\": " + std::to_string(r.submitted) +
+         ", \"completed\": " + std::to_string(r.completed) +
+         ", \"rejected\": " + std::to_string(r.rejected) +
+         ", \"p50_ms\": " + bench::json_number(r.lat.p50_ms) +
+         ", \"p99_ms\": " + bench::json_number(r.lat.p99_ms) +
+         ", \"p999_ms\": " + bench::json_number(r.lat.p999_ms) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  cfg.strict({"grid", "requests", "replicas", "max_batch", "queue_depth",
+              "continuous", "seed", "format"});
+  const auto format = bench::parse_format(cfg);
+  const bool print_text = format != bench::OutputFormat::Json;
+  const std::size_t grid = static_cast<std::size_t>(cfg.get_int("grid", 32));
+  const std::size_t requests =
+      static_cast<std::size_t>(cfg.get_int("requests", 192));
+  const std::size_t max_replicas =
+      static_cast<std::size_t>(cfg.get_int("replicas", 2));
+  const std::size_t max_batch =
+      static_cast<std::size_t>(cfg.get_int("max_batch", 8));
+  const std::size_t queue_depth =
+      static_cast<std::size_t>(cfg.get_int("queue_depth", 1 << 16));
+  const bool continuous = cfg.get_bool("continuous", true);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  ODONN_CHECK(requests >= 1 && max_replicas >= 1, "serve_load: empty sweep");
+
+  donn::DonnConfig config = donn::DonnConfig::scaled(grid);
+  config.init = donn::PhaseInit::Uniform;
+  Rng rng(seed);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->add("served", donn::DonnModel(config, rng));
+
+  Rng data_rng(seed + 1);
+  std::vector<optics::Field> inputs;
+  inputs.reserve(requests);
+  for (std::size_t k = 0; k < requests; ++k) {
+    MatrixD image(grid, grid);
+    for (auto& v : image) v = data_rng.uniform();
+    inputs.push_back(optics::encode_image(image, config.grid));
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (print_text) {
+    std::printf("=== serve_load ===\n");
+    std::printf(
+        "grid=%zu requests=%zu max_batch=%zu continuous=%d threads=%zu "
+        "hardware_threads=%u seed=%llu\n\n",
+        grid, requests, max_batch, continuous ? 1 : 0, thread_count(), hw,
+        static_cast<unsigned long long>(seed));
+  }
+
+  const auto make_options = [&](std::size_t replicas) {
+    serve::ClusterOptions options;
+    options.replicas = replicas;
+    options.continuous = continuous;
+    options.engine.max_batch = max_batch;
+    options.engine.max_queue = queue_depth;
+    // Inline kernels: each replica's drain thread does its own compute, so
+    // throughput scales with replica count, not with the inner pool split.
+    options.engine.inner_threads = 1;
+    return options;
+  };
+
+  // ---- phase 1: closed-loop saturation sweep over replica counts ---------
+  if (print_text) {
+    std::printf("closed loop (saturation)\n");
+    std::printf("%8s | %14s | %8s | %8s | %8s | %10s\n", "replicas",
+                "saturation_rps", "p50 ms", "p99 ms", "p999 ms", "mean batch");
+  }
+  std::vector<ClosedRow> closed;
+  for (std::size_t replicas = 1; replicas <= max_replicas; ++replicas) {
+    serve::ServeCluster cluster(registry, make_options(replicas));
+    for (std::size_t k = 0; k < std::min<std::size_t>(16, requests); ++k) {
+      cluster.submit("served", inputs[k]).get();  // warm-up
+    }
+    cluster.reset_stats();
+    std::vector<std::future<serve::PredictResult>> futures;
+    futures.reserve(requests);
+    const Clock::time_point start = Clock::now();
+    for (const auto& input : inputs) {
+      futures.push_back(cluster.submit("served", input));
+    }
+    ClosedRow row;
+    row.replicas = replicas;
+    for (auto& future : futures) {
+      const serve::PredictResult result = future.get();
+      for (const double v : result.detector_sums) {
+        row.digest = fnv1a_mix(row.digest, v);
+      }
+    }
+    const double elapsed = seconds_since(start);
+    row.saturation_rps = static_cast<double>(requests) / elapsed;
+    row.mean_batch = cluster.stats().mean_batch_size;
+    row.lat = percentiles_ms(merged_latencies(cluster));
+    if (print_text) {
+      std::printf("%8zu | %14.1f | %8.3f | %8.3f | %8.3f | %10.1f\n",
+                  row.replicas, row.saturation_rps, row.lat.p50_ms,
+                  row.lat.p99_ms, row.lat.p999_ms, row.mean_batch);
+    }
+    closed.push_back(row);
+  }
+
+  int failures = 0;
+  bool digests_agree = true;
+  for (const ClosedRow& row : closed) {
+    digests_agree = digests_agree && row.digest == closed.front().digest;
+  }
+  failures += !bench::shape_check(
+      digests_agree, "predictions bitwise identical across replica counts");
+
+  // Replication speedup: needs real cores to mean anything. Same self-skip
+  // rule as bench/table_parallel — the 1-core container logs the reason.
+  double speedup = 0.0;
+  if (closed.size() >= 2 && closed.front().saturation_rps > 0.0) {
+    speedup = closed[1].saturation_rps / closed.front().saturation_rps;
+  }
+  if (closed.size() >= 2 && hw >= 4 && thread_count() >= 4) {
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "replicas=2 saturation >= 1.5x replicas=1 (%.2fx)", speedup);
+    failures += !bench::shape_check(speedup >= 1.5, label);
+  } else if (print_text) {
+    std::printf(
+        "[check] SKIP replicas=2 speedup: need replicas>=2 and >=4 hardware "
+        "threads (replicas=%zu, hardware=%u, threads=%zu)\n",
+        max_replicas, hw, thread_count());
+  }
+
+  // ---- phase 2: open-loop QPS sweep at the largest replica count ---------
+  const double saturation = closed.back().saturation_rps;
+  std::vector<OpenRow> open;
+  if (saturation > 0.0) {
+    if (print_text) {
+      std::printf("\nopen loop (replicas=%zu)\n", max_replicas);
+      std::printf("%12s | %12s | %9s | %9s | %8s | %8s | %8s\n", "offered_qps",
+                  "achieved_rps", "completed", "rejected", "p50 ms", "p99 ms",
+                  "p999 ms");
+    }
+    serve::ServeCluster cluster(registry, make_options(max_replicas));
+    for (const double fraction : {0.5, 0.9, 1.3}) {
+      const double offered = saturation * fraction;
+      cluster.reset_stats();
+      std::vector<std::future<serve::PredictResult>> futures;
+      futures.reserve(requests);
+      OpenRow row;
+      row.offered_qps = offered;
+      const auto interarrival = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / offered));
+      const Clock::time_point start = Clock::now();
+      for (std::size_t k = 0; k < requests; ++k) {
+        // Open loop: submit at the scheduled arrival time whether or not
+        // earlier requests completed; late arrivals fire immediately.
+        std::this_thread::sleep_until(
+            start + interarrival * static_cast<std::int64_t>(k));
+        ++row.submitted;
+        try {
+          futures.push_back(cluster.submit("served", inputs[k]));
+        } catch (const OverloadError&) {
+          ++row.rejected;
+        }
+      }
+      for (auto& future : futures) future.get();
+      const double elapsed = seconds_since(start);
+      row.completed = futures.size();
+      row.achieved_rps = static_cast<double>(row.completed) / elapsed;
+      row.lat = percentiles_ms(merged_latencies(cluster));
+      if (print_text) {
+        std::printf("%12.1f | %12.1f | %9zu | %9zu | %8.3f | %8.3f | %8.3f\n",
+                    row.offered_qps, row.achieved_rps, row.completed,
+                    row.rejected, row.lat.p50_ms, row.lat.p99_ms,
+                    row.lat.p999_ms);
+      }
+      open.push_back(row);
+    }
+  }
+  bool accounted = true;
+  for (const OpenRow& row : open) {
+    accounted = accounted && row.completed + row.rejected == row.submitted;
+  }
+  failures += !bench::shape_check(
+      accounted, "open loop: every submitted request completed or rejected");
+
+  if (print_text) std::printf("\n");
+  if (format != bench::OutputFormat::Text) {
+    std::string json =
+        "{\"bench\": \"serve_load\", \"grid\": " + std::to_string(grid) +
+        ", \"requests\": " + std::to_string(requests) +
+        ", \"max_batch\": " + std::to_string(max_batch) +
+        ", \"continuous\": " + (continuous ? "true" : "false") +
+        ", \"threads\": " + std::to_string(thread_count()) +
+        ", \"hardware_threads\": " + std::to_string(hw) +
+        ", \"digest\": \"" + bench::hex64(closed.front().digest) + "\"" +
+        ", \"speedup\": " + bench::json_number(speedup) + ",\n \"closed\": [\n";
+    for (std::size_t i = 0; i < closed.size(); ++i) {
+      json += "  " + json_closed(closed[i]) +
+              (i + 1 < closed.size() ? ",\n" : "\n");
+    }
+    json += " ],\n \"open\": [\n";
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      json += "  " + json_open(open[i]) + (i + 1 < open.size() ? ",\n" : "\n");
+    }
+    json += " ]}";
+    std::printf("%s\n", json.c_str());
+  }
+  return failures;
+}

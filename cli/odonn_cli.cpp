@@ -14,8 +14,14 @@
 //            odonn_cli table dataset=mnist bench.scale=smoke jobs=4
 //          Same driver the bench/table*_ binaries use.
 //   serve  Load checkpoints into a ModelRegistry and push traffic through
-//          the InferenceEngine, or enumerate the registered variants.
+//          a ServeCluster (replicas= continuously-batched InferenceEngine
+//          replicas behind one submit facade), or enumerate the registered
+//          variants. queue_depth= bounds each replica's admission queue and
+//          backpressure=reject|block picks what a full queue does; results
+//          are bitwise independent of replicas= and routing=.
 //            odonn_cli serve model=models/pipeline-smoothed.odnn samples=256
+//            odonn_cli serve model=m.odnn replicas=4 queue_depth=256
+//            odonn_cli serve model=m.odnn routing=hash backpressure=block
 //            odonn_cli serve model=a.odnn,b.odnn action=list
 //   robust Monte-Carlo fabrication-variability evaluation (src/fab): R
 //          perturbed realizations per model variant, common random numbers
@@ -31,14 +37,18 @@
 //   odonn_cli run recipe=baseline robust_train=1 train_realizations=4
 //   odonn_cli robust recipe=baseline robust_train=1 realizations=32
 //
-// Observability: every subcommand accepts metrics=<path> and trace=<path>.
-// Either key switches detail collection + tracing on for the whole run and,
-// on success, writes the metrics registry (JSON by default, Prometheus text
-// for .prom/.txt paths) and a Chrome-trace event file (load in
-// chrome://tracing or ui.perfetto.dev). serve additionally accepts
+// Observability: every subcommand accepts metrics=<path>, trace=<path> and
+// trace_stream=<path>. The first two switch detail collection + tracing on
+// for the whole run and, on success, write the metrics registry (JSON by
+// default, Prometheus text for .prom/.txt paths) and a Chrome-trace event
+// file (load in chrome://tracing or ui.perfetto.dev). trace_stream=
+// additionally streams every COMPLETED span to the file as one JSON line
+// while the run executes, so long runs keep a complete record even after
+// the 64k in-memory span buffer caps out. serve additionally accepts
 // snapshot_s=SECONDS to print periodic engine snapshots while the bench
-// runs. Collection never affects results: digests are bitwise identical
-// with metrics on or off (scripts/check.sh asserts this).
+// runs — with replicas>1 the lines carry cluster aggregates (total queue
+// depth, per-replica RPS). Collection never affects results: digests are
+// bitwise identical with metrics on or off (scripts/check.sh asserts this).
 //
 // All arguments are key=value; unknown keys are rejected (Config::strict)
 // and format=text|json|both selects the output. Exit code 0 on success,
@@ -70,6 +80,7 @@
 #include "obs/obs.hpp"
 #include "optics/encode.hpp"
 #include "pipeline/parser.hpp"
+#include "serve/cluster.hpp"
 #include "serve/engine.hpp"
 #include "serve/registry.hpp"
 #include "train/trainer.hpp"
@@ -88,22 +99,34 @@ std::vector<std::string> with(std::vector<std::string> keys,
 
 // ---------------------------------------------------------- observability
 
-/// Export destinations parsed from the shared metrics=/trace= keys.
+/// Export destinations parsed from the shared metrics=/trace=/trace_stream=
+/// keys.
 struct ObsOptions {
   std::string metrics_path;
   std::string trace_path;
+  std::string trace_stream_path;
 };
 
-/// Reads metrics=/trace= and, when either is set, switches on detail
-/// collection (queue-wait timing) and span tracing for the whole run.
-/// Must run BEFORE the subcommand so instrumentation covers it.
+/// Reads metrics=/trace=/trace_stream= and, when any is set, switches on
+/// detail collection (queue-wait timing) and span tracing for the whole
+/// run. trace_stream= additionally attaches the streaming span sink up
+/// front so spans flush to the file AS the run executes. Must run BEFORE
+/// the subcommand so instrumentation covers it.
 ObsOptions obs_options_from_config(const Config& cfg) {
   ObsOptions options;
   options.metrics_path = cfg.get_string("metrics", "");
   options.trace_path = cfg.get_string("trace", "");
-  if (!options.metrics_path.empty() || !options.trace_path.empty()) {
+  options.trace_stream_path = cfg.get_string("trace_stream", "");
+  if (!options.metrics_path.empty() || !options.trace_path.empty() ||
+      !options.trace_stream_path.empty()) {
     obs::set_detail(true);
     obs::set_tracing(true);
+  }
+  if (!options.trace_stream_path.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(options.trace_stream_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    obs::set_trace_flush_file(options.trace_stream_path);
   }
   return options;
 }
@@ -152,8 +175,13 @@ void print_usage() {
       "         identical to jobs=1 for any ODONN_THREADS)\n"
       "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
       "         batch=64 seed=7 snapshot_s=0.5 format=text|json|both\n"
+      "         replicas=1 routing=least-loaded|hash queue_depth=65536\n"
+      "         backpressure=reject|block continuous=0|1 (default 1: admit\n"
+      "         into the next batch the moment the kernel frees up)\n"
       "  all subcommands: metrics=PATH (.json or .prom/.txt) trace=PATH\n"
-      "         export the metrics registry / Chrome-trace spans on success\n"
+      "         export the metrics registry / Chrome-trace spans on success;\n"
+      "         trace_stream=PATH streams completed spans as JSON lines\n"
+      "         while the run executes (survives the 64k span-buffer cap)\n"
       "  robust model=PATH[,PATH...] | recipe=baseline,ours-c[,...]\n"
       "         perturb='roughness(sigma_um=0.05,corr=2)+quantize(levels=16)"
       "+misalign(sigma_px=0.25)'\n"
@@ -173,7 +201,7 @@ int cmd_run(const Config& cfg) {
   cfg.strict(with(pipeline::config_keys(),
                   {"dataset", "samples", "format", "checkpoint_dir", "resume",
                    "publish_name", "publish_dir", "sweep", "metrics",
-                   "trace"}));
+                   "trace", "trace_stream"}));
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const bool print_json = format != bench::OutputFormat::Text;
@@ -376,7 +404,7 @@ int cmd_run(const Config& cfg) {
 
 int cmd_table(const Config& cfg) {
   cfg.strict(with(bench::parallel_bench_config_keys(),
-                  {"dataset", "metrics", "trace"}));
+                  {"dataset", "metrics", "trace", "trace_stream"}));
   const bench::BenchConfig bc = bench::make_bench_config(cfg);
   const auto format = bench::parse_format(cfg);
   const std::string dataset = cfg.get_enum(
@@ -397,7 +425,9 @@ int cmd_table(const Config& cfg) {
 
 int cmd_serve(const Config& cfg) {
   cfg.strict({"model", "grid", "samples", "batch", "seed", "format",
-              "action", "metrics", "trace", "snapshot_s"});
+              "action", "metrics", "trace", "trace_stream", "snapshot_s",
+              "replicas", "routing", "queue_depth", "backpressure",
+              "continuous"});
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const std::string action =
@@ -406,6 +436,19 @@ int cmd_serve(const Config& cfg) {
       static_cast<std::size_t>(cfg.get_int("samples", 256));
   const std::size_t batch = static_cast<std::size_t>(cfg.get_int("batch", 64));
   const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  const long replicas_arg = cfg.get_int("replicas", 1);
+  if (replicas_arg < 1 || replicas_arg > 256) {
+    throw ConfigError("serve: replicas must be in [1, 256]");
+  }
+  const std::size_t replicas = static_cast<std::size_t>(replicas_arg);
+  const std::string routing =
+      cfg.get_enum("routing", "least-loaded", {"least-loaded", "hash"});
+  const long queue_depth = cfg.get_int("queue_depth", 1 << 16);
+  if (queue_depth < 1) {
+    throw ConfigError("serve: queue_depth must be >= 1");
+  }
+  const std::string backpressure =
+      cfg.get_enum("backpressure", "reject", {"reject", "block"});
 
   auto registry = std::make_shared<serve::ModelRegistry>();
   if (cfg.has("model")) {
@@ -467,13 +510,23 @@ int cmd_serve(const Config& cfg) {
     return inputs;
   };
 
-  serve::EngineOptions options;
-  options.max_batch = batch;
-  serve::InferenceEngine engine(registry, options);
+  serve::ClusterOptions cluster_options;
+  cluster_options.replicas = replicas;
+  cluster_options.routing = routing == "hash" ? serve::Routing::Hash
+                                              : serve::Routing::LeastLoaded;
+  cluster_options.continuous = cfg.get_bool("continuous", true);
+  cluster_options.engine.max_batch = batch;
+  cluster_options.engine.max_queue = static_cast<std::size_t>(queue_depth);
+  cluster_options.engine.backpressure = backpressure == "block"
+                                            ? serve::Backpressure::Block
+                                            : serve::Backpressure::Reject;
+  serve::ServeCluster cluster(registry, cluster_options);
 
-  // snapshot_s=SECONDS: a background thread logs an engine snapshot at
-  // that period while the bench runs (observability only). RAII so the
-  // thread is joined even when the bench throws.
+  // snapshot_s=SECONDS: a background thread logs a cluster snapshot at
+  // that period while the bench runs (observability only). With replicas>1
+  // the line carries the cluster aggregates — total queue depth and
+  // per-replica RPS — not just single-engine stats. RAII so the thread is
+  // joined even when the bench throws.
   const double snapshot_s = cfg.get_double("snapshot_s", 0.0);
   struct SnapshotLoop {
     std::atomic<bool> running{true};
@@ -484,7 +537,7 @@ int cmd_serve(const Config& cfg) {
     }
   } snapshots;
   if (snapshot_s > 0.0) {
-    snapshots.thread = std::thread([&engine, &snapshots, snapshot_s] {
+    snapshots.thread = std::thread([&cluster, &snapshots, snapshot_s] {
       const auto tick = std::chrono::milliseconds(50);
       auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                      std::chrono::duration<double>(snapshot_s));
@@ -493,44 +546,63 @@ int cmd_serve(const Config& cfg) {
         if (Clock::now() < next) continue;
         next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                   std::chrono::duration<double>(snapshot_s));
-        const auto snap = engine.stats();
-        log::info() << "serve snapshot: requests=" << snap.requests
-                    << " errors=" << snap.errors << " p50_ms=" << snap.p50_ms
-                    << " p99_ms=" << snap.p99_ms
-                    << " rps=" << snap.throughput_rps
-                    << " mean_batch=" << snap.mean_batch_size
-                    << " queue=" << engine.pending();
+        const auto snap = cluster.stats();
+        auto line = log::info();
+        line << "serve snapshot: requests=" << snap.requests
+             << " errors=" << snap.errors << " rejected=" << snap.rejected
+             << " p50_ms=" << snap.p50_ms << " p99_ms=" << snap.p99_ms
+             << " rps=" << snap.throughput_rps
+             << " mean_batch=" << snap.mean_batch_size
+             << " queue=" << snap.queue_depth;
+        if (cluster.replica_count() > 1) {
+          for (std::size_t r = 0; r < snap.replicas.size(); ++r) {
+            line << " replica" << r << "=(rps="
+                 << snap.replicas[r].throughput_rps << " queue="
+                 << snap.replica_queue_depth[r] << ")";
+          }
+        }
       }
     });
   }
 
   if (print_text) {
     std::printf("=== odonn_cli serve ===\n");
-    std::printf("models=%zu grid=%zu samples=%zu batch=%zu threads=%zu\n\n",
-                names.size(), grid, samples, batch, thread_count());
+    std::printf(
+        "models=%zu grid=%zu samples=%zu batch=%zu replicas=%zu "
+        "routing=%s continuous=%d queue_depth=%ld backpressure=%s "
+        "threads=%zu\n\n",
+        names.size(), grid, samples, batch, replicas, routing.c_str(),
+        cluster_options.continuous ? 1 : 0, queue_depth,
+        backpressure.c_str(), thread_count());
     std::printf("%-24s | %12s | %8s | %8s | %10s\n", "model", "samples/sec",
                 "p50 ms", "p99 ms", "mean batch");
   }
   std::string json = "{\"bench\": \"odonn_cli_serve\", \"grid\": " +
                      std::to_string(grid) +
                      ", \"samples\": " + std::to_string(samples) +
+                     ", \"replicas\": " + std::to_string(replicas) +
+                     ", \"routing\": " + bench::json_quote(routing) +
+                     ", \"continuous\": " +
+                     (cluster_options.continuous ? "true" : "false") +
                      ", \"threads\": " + std::to_string(thread_count()) +
                      ", \"rows\": [\n";
   for (std::size_t i = 0; i < names.size(); ++i) {
     const std::string& name = names[i];
     const auto inputs = make_inputs(registry->get(name)->config().grid);
     for (std::size_t k = 0; k < std::min<std::size_t>(16, samples); ++k) {
-      engine.submit(name, inputs[k]).get();  // warm-up
+      cluster.submit(name, inputs[k]).get();  // warm-up
     }
-    engine.reset_stats();
+    cluster.reset_stats();
     std::vector<std::future<serve::PredictResult>> futures;
     futures.reserve(samples);
     const Clock::time_point start = Clock::now();
-    for (const auto& input : inputs) futures.push_back(engine.submit(name, input));
+    for (const auto& input : inputs) {
+      futures.push_back(cluster.submit(name, input));
+    }
     for (auto& future : futures) future.get();
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
-    const auto snap = engine.stats();
+    const auto snap = cluster.stats();
     const double throughput = static_cast<double>(samples) / elapsed;
     if (print_text) {
       std::printf("%-24s | %12.1f | %8.3f | %8.3f | %10.1f\n", name.c_str(),
@@ -553,7 +625,7 @@ int cmd_serve(const Config& cfg) {
 int cmd_robust(const Config& cfg) {
   cfg.strict(with(pipeline::config_keys(),
                   {"dataset", "samples", "model", "format", "threads",
-                   "metrics", "trace"}));
+                   "metrics", "trace", "trace_stream"}));
   // Pin the pool size before any parallel work runs (the robust CLI
   // exposes the thread count directly; ODONN_THREADS remains the default).
   if (cfg.has("threads")) {
@@ -735,10 +807,18 @@ int main(int argc, char** argv) {
     // Enable collection before the command runs, export after it succeeds.
     const ObsOptions obs_options = obs_options_from_config(cfg);
     int code = 1;
-    if (command == "run") code = cmd_run(cfg);
-    if (command == "table") code = cmd_table(cfg);
-    if (command == "serve") code = cmd_serve(cfg);
-    if (command == "robust") code = cmd_robust(cfg);
+    try {
+      if (command == "run") code = cmd_run(cfg);
+      if (command == "table") code = cmd_table(cfg);
+      if (command == "serve") code = cmd_serve(cfg);
+      if (command == "robust") code = cmd_robust(cfg);
+    } catch (...) {
+      // The streamed spans written so far are exactly what makes a failed
+      // long run diagnosable — flush and close before rethrowing.
+      obs::close_trace_flush_file();
+      throw;
+    }
+    obs::close_trace_flush_file();
     if (code == 0) write_obs_outputs(obs_options);
     return code;
   } catch (const Error& error) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, ctest, plus smokes of the Monte-Carlo
 # robustness CLI, robust training, the parallel table executor (with
-# cross-thread-count and cross-jobs digest compares), and the
-# observability exports (metrics-on rows bitwise identical to plain) —
-# the single entry point CI and humans run before merging. src/serve,
+# cross-thread-count and cross-jobs digest compares), the observability
+# exports (metrics-on rows bitwise identical to plain), and the serve
+# cluster (cluster-vs-single-engine prediction digest equality across
+# ODONN_THREADS) — the single entry point CI and humans run before
+# merging. src/serve,
 # src/pipeline, src/fab, src/obs and src/common/parallel.cpp compile with
 # -Wall -Wextra -Werror (set in CMakeLists.txt), so any warning there
 # fails this script at the build step.
@@ -135,3 +137,32 @@ echo "obs smoke: metrics schema, per-job stage spans and trace all present"
 # rows still bitwise identical).
 ODONN_THREADS=4 ./table_parallel bench.scale=smoke format=text ||
   { echo "table_parallel bench failed" >&2; exit 1; }
+
+# Serve-cluster smoke: the load bench digests every response's detector
+# sums (FNV-1a over the IEEE-754 bits, in submit order); that digest must
+# be identical between a single-threaded single engine and a 4-thread
+# 2-replica cluster — replication, routing and thread count move requests,
+# never bits. The replicas=2 JSON record is kept for CI upload
+# (build/serve_artifacts/), alongside the bench's own internal
+# cross-replica digest and speedup shape checks.
+serve_smoke() {  # $1=threads $2=replicas
+  ODONN_THREADS="$1" ./serve_load grid=16 requests=64 replicas="$2" \
+    format=json ||
+    { echo "serve smoke: serve_load failed (threads=$1 replicas=$2)" >&2
+      exit 1; }
+}
+rm -rf serve_artifacts && mkdir -p serve_artifacts
+v1="$(serve_smoke 1 1)"
+v2="$(serve_smoke 4 2)"
+# The record proper is JSON; shape-check lines ("[check] ...") precede it.
+printf '%s\n' "$v2" | grep -v '^\[' > serve_artifacts/serve_load.json
+sd1="$(printf '%s\n' "$v1" | grep -o '"digest": "[0-9a-f]*"' | head -n 1)"
+sd2="$(printf '%s\n' "$v2" | grep -o '"digest": "[0-9a-f]*"' | head -n 1)"
+[ -n "$sd1" ] || { echo "serve smoke: no digest emitted" >&2; exit 1; }
+if [ "$sd1" != "$sd2" ]; then
+  echo "serve smoke: digests differ between single engine and cluster" >&2
+  echo "threads=1 replicas=1: $sd1" >&2
+  echo "threads=4 replicas=2: $sd2" >&2
+  exit 1
+fi
+echo "serve smoke: cluster digest identical to single engine (threads 1 vs 4)"

@@ -40,6 +40,16 @@ class NumericsError : public Error {
   explicit NumericsError(const std::string& what) : Error("numerics: " + what) {}
 };
 
+/// Admission-control rejection: the serving queue is at its depth bound and
+/// the backpressure policy is reject. Retryable by the caller — the typed
+/// class lets load generators and clients distinguish overload from real
+/// failures.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what)
+      : Error("overload: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* kind, const char* expr,
                                       const char* file, int line,

@@ -403,4 +403,11 @@ void parallel_tasks(std::vector<std::function<void()>> tasks,
   }
 }
 
+ScopedThreadBudget::ScopedThreadBudget(std::size_t budget)
+    : saved_(t_budget) {
+  t_budget = budget;
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() { t_budget = saved_; }
+
 }  // namespace odonn

@@ -76,4 +76,23 @@ void parallel_tasks(std::vector<std::function<void()>> tasks,
                     std::size_t max_concurrent = 0,
                     std::size_t inner_budget = 0);
 
+/// Pins the CALLING thread's inner parallelism budget for the current
+/// scope: parallel_for/parallel_sum/parallel_tasks issued from this thread
+/// fan out to at most `budget` pool workers (1 = run inline, 0 = restore
+/// the unrestricted default). Restores the previous budget on destruction.
+/// This is how long-lived threads that are not pool tasks — e.g. a serve
+/// replica's drain thread — claim a fixed share of the shared pool without
+/// wrapping every call in parallel_tasks. Results are unaffected (all
+/// deterministic reductions use fixed-slice layouts); only scheduling is.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(std::size_t budget);
+  ~ScopedThreadBudget();
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  std::size_t saved_;
+};
+
 }  // namespace odonn

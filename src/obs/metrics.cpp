@@ -133,6 +133,8 @@ MetricsRegistry& MetricsRegistry::global() {
     r->counter("serve.requests");
     r->counter("serve.batches");
     r->counter("serve.errors");
+    r->counter("serve.admitted");
+    r->counter("serve.rejected");
     r->histogram("serve.latency_ms");
     r->histogram("serve.batch_size");
     r->gauge("serve.queue_depth");

@@ -8,7 +8,8 @@ std::string export_json() {
   std::ostringstream out;
   out << "{\"metrics\": " << MetricsRegistry::global().to_json()
       << ", \"spans\": " << spans_json()
-      << ", \"trace_dropped\": " << trace_dropped() << "}";
+      << ", \"trace_dropped\": " << trace_dropped()
+      << ", \"trace_flushed\": " << trace_flushed() << "}";
   return out.str();
 }
 

@@ -19,8 +19,8 @@
 namespace odonn::obs {
 
 /// Combined export: {"metrics": <MetricsRegistry::to_json()>,
-/// "spans": <spans_json()>, "trace_dropped": N}. The shape written by the
-/// CLI `metrics=` key and embedded in bench records.
+/// "spans": <spans_json()>, "trace_dropped": N, "trace_flushed": N}. The
+/// shape written by the CLI `metrics=` key and embedded in bench records.
 std::string export_json();
 
 }  // namespace odonn::obs

@@ -2,10 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <utility>
+
+#include "common/error.hpp"
 
 namespace odonn::obs {
 namespace {
@@ -19,6 +22,10 @@ struct TraceState {
   std::mutex mutex;
   std::vector<TraceEvent> events;
   std::atomic<std::uint64_t> dropped{0};
+  /// Streaming sink (span flush-to-file); null when detached. Guarded by
+  /// `mutex` like the event buffer.
+  std::FILE* flush_file = nullptr;
+  std::atomic<std::uint64_t> flushed{0};
 };
 
 /// Leaked: spans on pool workers may finish during static destruction.
@@ -104,6 +111,31 @@ std::uint64_t trace_dropped() {
   return state().dropped.load(std::memory_order_relaxed);
 }
 
+void set_trace_flush_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw IoError("trace: cannot open flush file " + path);
+  }
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.flush_file != nullptr) std::fclose(s.flush_file);
+  s.flush_file = file;
+  s.flushed.store(0, std::memory_order_relaxed);
+}
+
+void close_trace_flush_file() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.flush_file != nullptr) {
+    std::fclose(s.flush_file);
+    s.flush_file = nullptr;
+  }
+}
+
+std::uint64_t trace_flushed() {
+  return state().flushed.load(std::memory_order_relaxed);
+}
+
 std::string trace_to_chrome_json() {
   const std::vector<TraceEvent> events = trace_events();
   std::ostringstream out;
@@ -159,8 +191,25 @@ void TraceSpan::finish() {
   active_ = false;
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.flush_file != nullptr) {
+    // Streaming sink: one JSON line per completed span (same fields as a
+    // spans_json() element), written whole under the state mutex so lines
+    // from concurrent threads never interleave.
+    std::string line = "{\"name\": \"" + json_escape(event.name) +
+                       "\", \"tid\": " + std::to_string(event.tid) +
+                       ", \"depth\": " + std::to_string(event.depth) +
+                       ", \"start_us\": " + std::to_string(event.start_us) +
+                       ", \"duration_us\": " +
+                       std::to_string(event.duration_us) + "}\n";
+    std::fwrite(line.data(), 1, line.size(), s.flush_file);
+    s.flushed.fetch_add(1, std::memory_order_relaxed);
+  }
   if (s.events.size() >= kMaxTraceEvents) {
-    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    // With a sink attached the span is already durable on disk, so it is
+    // flushed, not dropped; without one it is lost and counted.
+    if (s.flush_file == nullptr) {
+      s.dropped.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   s.events.push_back(std::move(event));

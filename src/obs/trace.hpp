@@ -38,8 +38,25 @@ std::vector<TraceEvent> trace_events();
 /// Drops all collected events (the bounded buffer refills afterwards).
 void clear_trace();
 
-/// Events dropped because the bounded buffer (64k events) was full.
+/// Events dropped because the bounded buffer (64k events) was full AND no
+/// flush file was attached to take them.
 std::uint64_t trace_dropped();
+
+/// Attaches a streaming span sink: every span completed from now on is
+/// ALSO appended to `path` as one JSON line (same fields as spans_json()
+/// elements), so sustained runs — a serve load bench, a long table — keep
+/// a complete record even after the in-memory buffer caps out. With a sink
+/// attached, buffer-full events count as flushed, not dropped. Truncates
+/// any existing file; replaces any previously attached sink. Throws
+/// IoError when the file cannot be opened.
+void set_trace_flush_file(const std::string& path);
+
+/// Flushes and detaches the streaming sink. Idempotent, safe when no sink
+/// is attached.
+void close_trace_flush_file();
+
+/// Spans appended to the flush file since it was attached.
+std::uint64_t trace_flushed();
 
 /// Chrome-trace format: {"traceEvents": [{"name", "cat", "ph": "X", "pid",
 /// "tid", "ts", "dur", "args": {"depth"}}]}. Load in chrome://tracing or

@@ -1,0 +1,149 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "tensor/stats.hpp"
+
+namespace odonn::serve {
+
+namespace {
+
+/// FNV-1a over the model name bytes — the routing hash. Stable across
+/// processes and platforms so request placement is reproducible.
+std::uint64_t name_hash(const std::string& name) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ServeCluster::ServeCluster(std::shared_ptr<ModelRegistry> registry,
+                           ClusterOptions options)
+    : options_(std::move(options)) {
+  ODONN_CHECK(registry != nullptr, "cluster: null registry");
+  ODONN_CHECK(options_.replicas >= 1, "cluster: replicas must be >= 1");
+  ODONN_CHECK(options_.engine.label.empty(),
+              "cluster: engine.label is assigned per replica; leave it empty");
+
+  EngineOptions engine = options_.engine;
+  engine.continuous = options_.continuous;
+  if (engine.inner_threads == 0) {
+    // Even split of the shared pool: R concurrent kernels that together
+    // use the whole pool instead of each trying to claim all of it.
+    engine.inner_threads =
+        std::max<std::size_t>(1, thread_count() / options_.replicas);
+  }
+  options_.engine = engine;
+
+  replicas_.reserve(options_.replicas);
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    EngineOptions replica_options = engine;
+    if (options_.label_replicas) {
+      replica_options.label = "replica" + std::to_string(i);
+    }
+    replicas_.push_back(
+        std::make_unique<InferenceEngine>(registry, replica_options));
+  }
+}
+
+ServeCluster::~ServeCluster() { shutdown(); }
+
+std::size_t ServeCluster::route(const std::string& model_name) const {
+  if (replicas_.size() == 1) return 0;
+  if (options_.routing == Routing::Hash) {
+    return static_cast<std::size_t>(name_hash(model_name) % replicas_.size());
+  }
+  // Least-loaded: shortest queue wins, ties to the lowest index. The read
+  // is racy across replicas by design — placement only moves load, never
+  // results.
+  std::size_t best = 0;
+  std::size_t best_depth = replicas_[0]->pending();
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    const std::size_t depth = replicas_[i]->pending();
+    if (depth < best_depth) {
+      best = i;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+std::future<PredictResult> ServeCluster::submit(const std::string& model_name,
+                                                optics::Field input) {
+  return replicas_[route(model_name)]->submit(model_name, std::move(input));
+}
+
+void ServeCluster::shutdown() {
+  for (auto& replica : replicas_) replica->shutdown();
+}
+
+std::size_t ServeCluster::pending() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) total += replica->pending();
+  return total;
+}
+
+std::vector<std::size_t> ServeCluster::replica_pending() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(replicas_.size());
+  for (const auto& replica : replicas_) depths.push_back(replica->pending());
+  return depths;
+}
+
+std::uint64_t ServeCluster::admitted() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->admitted();
+  return total;
+}
+
+std::uint64_t ServeCluster::rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& replica : replicas_) total += replica->rejected();
+  return total;
+}
+
+ServeCluster::ClusterSnapshot ServeCluster::stats() const {
+  ClusterSnapshot snap;
+  snap.replicas.reserve(replicas_.size());
+  snap.replica_queue_depth.reserve(replicas_.size());
+  std::uint64_t batches = 0;
+  double batched_samples = 0.0;
+  std::vector<double> merged_window;
+  for (const auto& replica : replicas_) {
+    const ServeStats::Snapshot s = replica->stats();
+    snap.requests += s.requests;
+    snap.errors += s.errors;
+    snap.throughput_rps += s.throughput_rps;
+    batches += s.batches;
+    batched_samples += s.mean_batch_size * static_cast<double>(s.batches);
+    snap.replicas.push_back(s);
+    const std::size_t depth = replica->pending();
+    snap.queue_depth += depth;
+    snap.replica_queue_depth.push_back(depth);
+    const std::vector<double> window = replica->latency_window();
+    merged_window.insert(merged_window.end(), window.begin(), window.end());
+  }
+  snap.admitted = admitted();
+  snap.rejected = rejected();
+  if (batches > 0) {
+    snap.mean_batch_size = batched_samples / static_cast<double>(batches);
+  }
+  if (!merged_window.empty()) {
+    snap.p50_ms = percentile_nearest_rank(merged_window, 0.50) * 1e3;
+    snap.p99_ms = percentile_nearest_rank(merged_window, 0.99) * 1e3;
+  }
+  return snap;
+}
+
+void ServeCluster::reset_stats() {
+  for (auto& replica : replicas_) replica->reset_stats();
+}
+
+}  // namespace odonn::serve

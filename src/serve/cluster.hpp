@@ -1,0 +1,133 @@
+// ServeCluster — N continuously-batched InferenceEngine replicas behind the
+// single submit() facade callers already know.
+//
+// One registry, N replicas: every replica serves every published model (the
+// registry hands out immutable snapshots, so replicas share model memory
+// and differ only in their drain thread, request queue and plan cache).
+// Each replica runs with continuous (in-flight) batching by default and a
+// pinned inner thread budget — an even split of the shared pool unless the
+// caller overrides it — so R replicas give R concurrent kernels without
+// oversubscribing common/parallel.
+//
+// Routing:
+//   * LeastLoaded (default): the replica with the shortest queue takes the
+//     request (ties break to the lowest index). Best for uniform traffic.
+//   * Hash: FNV-1a of the model name picks the replica — model-affinity
+//     routing, so each replica's plan cache only ever holds its share of
+//     the published models (cuts modulation-table residency R-fold when
+//     many variants are served).
+// Routing never changes results: predictions are bitwise identical to the
+// single-engine path for the same inputs, whichever replica serves them.
+//
+// Admission control and backpressure are per replica (bounded queue depth,
+// reject-with-OverloadError or block, from EngineOptions); the cluster
+// exposes the summed admitted/rejected counts. shutdown() is a graceful
+// drain: every admitted future resolves before it returns.
+//
+// Thread safety: submit()/stats()/pending() are safe from any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+namespace odonn::serve {
+
+/// How the cluster picks a replica for each request.
+enum class Routing {
+  LeastLoaded,  ///< shortest queue wins, ties to the lowest index
+  Hash,         ///< FNV-1a(model name) — model-affinity routing
+};
+
+struct ClusterOptions {
+  std::size_t replicas = 2;
+  Routing routing = Routing::LeastLoaded;
+  /// Continuous (in-flight) batching on every replica — the default and
+  /// the point of replication; false falls back to window batching (an
+  /// A/B the load bench can drive).
+  bool continuous = true;
+  /// Template applied to every replica. `continuous` here is overridden by
+  /// the cluster-level flag above; `inner_threads` 0 = an even split of
+  /// the shared pool across replicas (at least 1); `label` must stay
+  /// empty — the cluster labels replicas itself ("replica0", "replica1",
+  /// ...) when `label_replicas` is set.
+  EngineOptions engine;
+  /// Register per-replica obs instruments (serve.replicaK.*).
+  bool label_replicas = true;
+};
+
+class ServeCluster {
+ public:
+  explicit ServeCluster(std::shared_ptr<ModelRegistry> registry,
+                        ClusterOptions options = {});
+  ~ServeCluster();
+
+  ServeCluster(const ServeCluster&) = delete;
+  ServeCluster& operator=(const ServeCluster&) = delete;
+
+  /// Same contract as InferenceEngine::submit — the future resolves to the
+  /// prediction or to the typed error (unknown model, grid mismatch,
+  /// OverloadError under Reject backpressure at the routed replica).
+  std::future<PredictResult> submit(const std::string& model_name,
+                                    optics::Field input);
+
+  /// Gracefully drains every replica: all admitted futures resolve before
+  /// this returns. Idempotent; called by the destructor.
+  void shutdown();
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Queued-but-not-yet-batched requests, summed over replicas.
+  std::size_t pending() const;
+
+  /// Per-replica queue depths (index = replica).
+  std::vector<std::size_t> replica_pending() const;
+
+  std::uint64_t admitted() const;
+  std::uint64_t rejected() const;
+
+  /// Cluster-level aggregates plus the per-replica snapshots they came
+  /// from. Counters sum; cluster percentiles are computed over the
+  /// concatenated replica latency windows (quantiles of quantiles would
+  /// not be exact).
+  struct ClusterSnapshot {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::size_t queue_depth = 0;          ///< summed pending()
+    double throughput_rps = 0.0;          ///< summed per-replica RPS
+    double mean_batch_size = 0.0;         ///< batch-weighted mean
+    /// True cluster-level latency percentiles: nearest-rank over the
+    /// CONCATENATED retained windows of every replica (not a merge of
+    /// per-replica quantiles).
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    std::vector<ServeStats::Snapshot> replicas;
+    std::vector<std::size_t> replica_queue_depth;
+  };
+  ClusterSnapshot stats() const;
+
+  /// Clears every replica's counters and latency windows.
+  void reset_stats();
+
+  /// Direct access for tests and snapshot printers.
+  const InferenceEngine& replica(std::size_t index) const {
+    return *replicas_.at(index);
+  }
+
+ private:
+  std::size_t route(const std::string& model_name) const;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<InferenceEngine>> replicas_;
+};
+
+}  // namespace odonn::serve

@@ -4,20 +4,42 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace odonn::serve {
 
 InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry,
                                  EngineOptions options)
-    : registry_(std::move(registry)), options_(options) {
+    : registry_(std::move(registry)), options_(std::move(options)) {
   ODONN_CHECK(registry_ != nullptr, "engine: null registry");
   ODONN_CHECK(options_.max_batch >= 1, "engine: max_batch must be >= 1");
   ODONN_CHECK(options_.max_queue >= 1, "engine: max_queue must be >= 1");
+#ifndef ODONN_OBS_DISABLE
+  if (!options_.label.empty()) {
+    // Per-replica suffix convention: serve.<label>.<instrument>, so the
+    // JSON/Prometheus exports distinguish replicas without any new
+    // registry API (odonn_serve_replica0_queue_depth and friends).
+    auto& registry_obs = obs::MetricsRegistry::global();
+    const std::string prefix = "serve." + options_.label + ".";
+    labelled_.queue_depth = &registry_obs.gauge(prefix + "queue_depth");
+    labelled_.requests = &registry_obs.counter(prefix + "requests");
+    labelled_.rejected = &registry_obs.counter(prefix + "rejected");
+    labelled_.latency_ms = &registry_obs.histogram(prefix + "latency_ms");
+    labelled_.batch_size = &registry_obs.histogram(prefix + "batch_size");
+  }
+#endif
   worker_ = std::thread([this] { drain_loop(); });
 }
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
+
+void InferenceEngine::note_queue_depth(std::size_t depth) {
+  ODONN_OBS_GAUGE_SET("serve.queue_depth", depth);
+  if (labelled_.queue_depth != nullptr) {
+    labelled_.queue_depth->set(static_cast<std::int64_t>(depth));
+  }
+}
 
 std::future<PredictResult> InferenceEngine::submit(
     const std::string& model_name, optics::Field input) {
@@ -27,13 +49,28 @@ std::future<PredictResult> InferenceEngine::submit(
   request.enqueued = ServeStats::Clock::now();
   std::future<PredictResult> future = request.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) throw Error("engine: submit after shutdown");
     if (queue_.size() >= options_.max_queue) {
-      throw Error("engine: request queue full");
+      if (options_.backpressure == Backpressure::Reject) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        ODONN_OBS_COUNT("serve.rejected", 1);
+        if (labelled_.rejected != nullptr) labelled_.rejected->add(1);
+        throw OverloadError(
+            "engine: request queue full (depth " +
+            std::to_string(options_.max_queue) +
+            "); retry later or switch backpressure to block");
+      }
+      // Block: park until the drain thread frees a slot (or shutdown).
+      space_cv_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.max_queue;
+      });
+      if (stopping_) throw Error("engine: submit after shutdown");
     }
     queue_.push_back(std::move(request));
-    ODONN_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    ODONN_OBS_COUNT("serve.admitted", 1);
+    note_queue_depth(queue_.size());
   }
   cv_.notify_one();
   return future;
@@ -46,6 +83,7 @@ void InferenceEngine::shutdown() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -54,7 +92,16 @@ std::size_t InferenceEngine::pending() const {
   return queue_.size();
 }
 
+void InferenceEngine::reset_stats() {
+  stats_.reset();
+  admitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+}
+
 void InferenceEngine::drain_loop() {
+  // Pin this replica's share of the shared pool for every batch the drain
+  // thread evaluates (0 = unrestricted, the single-engine default).
+  ScopedThreadBudget budget(options_.inner_threads);
   for (;;) {
     std::vector<Request> batch;
     {
@@ -62,10 +109,13 @@ void InferenceEngine::drain_loop() {
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, fully drained
 
-      // Batch window: once work is pending, give co-submitted traffic a
+      // Window mode: once work is pending, give co-submitted traffic a
       // short chance to fill the batch — unless we are shutting down, in
-      // which case drain as fast as possible.
-      if (!stopping_ && queue_.size() < options_.max_batch &&
+      // which case drain as fast as possible. Continuous mode never waits:
+      // the kernel just freed up (or the engine was idle), so whatever is
+      // queued right now forms the next batch immediately.
+      if (!options_.continuous && !stopping_ &&
+          queue_.size() < options_.max_batch &&
           options_.batch_window.count() > 0) {
         cv_.wait_for(lock, options_.batch_window, [this] {
           return stopping_ || queue_.size() >= options_.max_batch;
@@ -78,8 +128,12 @@ void InferenceEngine::drain_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      ODONN_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+      note_queue_depth(queue_.size());
     }
+    // Slots freed: wake submitters parked on Backpressure::Block.
+    space_cv_.notify_all();
+
+    if (options_.on_batch_start) options_.on_batch_start(batch.size());
 
     // Group by model, preserving submission order within each group.
     std::vector<std::pair<std::string, std::vector<Request*>>> groups;
@@ -163,13 +217,21 @@ void InferenceEngine::run_group(const std::string& model_name,
   }
 
   stats_.record_batch(group.size());
+  if (labelled_.batch_size != nullptr) {
+    labelled_.batch_size->observe(static_cast<double>(group.size()));
+  }
   const ServeStats::Clock::time_point done = ServeStats::Clock::now();
   for (std::size_t i = 0; i < group.size(); ++i) {
     PredictResult prediction;
     prediction.predicted = result.predictions[i];
     prediction.detector_sums = std::move(result.detector_sums[i]);
-    stats_.record_request(
-        std::chrono::duration<double>(done - group[i]->enqueued).count());
+    const double latency =
+        std::chrono::duration<double>(done - group[i]->enqueued).count();
+    stats_.record_request(latency);
+    if (labelled_.requests != nullptr) labelled_.requests->add(1);
+    if (labelled_.latency_ms != nullptr) {
+      labelled_.latency_ms->observe(latency * 1e3);
+    }
     group[i]->promise.set_value(std::move(prediction));
   }
 }

@@ -1,24 +1,50 @@
 // InferenceEngine — asynchronous request queue in front of BatchedForward.
 //
 // Callers submit (model name, input field) pairs and get a std::future per
-// request. A dedicated drain thread collects requests into batches — waiting
-// up to `batch_window` for the queue to reach `max_batch` once work is
-// pending — groups them by model, and evaluates each group with a cached,
-// plan-reusing BatchedForward (rebuilt only when the registry entry for that
-// name is replaced, so steady traffic pays the modulation-table setup once
-// per published model, not per batch). Within a batch, sample-level
-// parallelism comes from common/parallel inside infer_batch.
+// request. A dedicated drain thread collects requests into batches, groups
+// them by model, and evaluates each group with a cached, plan-reusing
+// BatchedForward (rebuilt only when the registry entry for that name is
+// replaced, so steady traffic pays the modulation-table setup once per
+// published model, not per batch). Within a batch, sample-level parallelism
+// comes from common/parallel inside infer_batch, capped by
+// `inner_threads` when set (how a cluster replica pins its share of the
+// shared pool).
 //
-// Shutdown is graceful: the drain thread finishes everything already queued
-// before exiting; submissions after shutdown() throw.
+// Two batching disciplines:
+//   * window (default): once work is pending, the drain thread waits up to
+//     `batch_window` for the queue to reach `max_batch` before running a
+//     partial batch — maximizes batch size under bursty offered load;
+//   * continuous (`continuous = true`): requests are admitted into the
+//     next batch THE MOMENT the kernel frees up — whatever is queued when
+//     a batch finishes forms the next batch immediately, and the window is
+//     never waited out. A request arriving while batch k runs is served by
+//     batch k+1. This is the in-flight batching discipline a replicated
+//     serve cluster uses: the kernel never idles while work is queued.
+//
+// Admission control: the queue is bounded at `max_queue`. When full,
+// `backpressure` picks the policy — Reject throws a typed OverloadError
+// (retryable overload, distinguishable from real failures) and counts the
+// rejection; Block parks the submitter until the drain thread frees a slot.
+//
+// Shutdown is a graceful drain: every ADMITTED request's future resolves
+// before the worker exits; submissions after shutdown() (and submitters
+// still blocked on backpressure at shutdown) throw.
+//
+// Observability: global serve.* instruments are always recorded; a
+// non-empty `label` additionally registers per-replica instruments
+// (serve.<label>.queue_depth / requests / rejected / latency_ms /
+// batch_size) so exports distinguish replicas by name suffix alone.
 //
 // Thread safety: submit()/stats()/pending() are safe from any thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -31,16 +57,48 @@
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
 
+namespace odonn::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace odonn::obs
+
 namespace odonn::serve {
+
+/// What submit() does when the request queue sits at max_queue.
+enum class Backpressure {
+  Reject,  ///< throw OverloadError (and count the rejection)
+  Block,   ///< park the submitter until the drain thread frees a slot
+};
 
 struct EngineOptions {
   /// Largest batch handed to one BatchedForward call.
   std::size_t max_batch = 64;
   /// How long the drain thread waits for a partial batch to fill before
   /// running it anyway. Zero serves whatever is queued immediately.
+  /// Ignored in continuous mode.
   std::chrono::microseconds batch_window{200};
-  /// Backpressure bound: submit() throws once this many requests queue up.
+  /// Admission bound: the deepest the request queue may grow.
   std::size_t max_queue = 1 << 16;
+  /// Continuous (in-flight) batching: admit queued requests into the next
+  /// batch the moment the kernel frees up instead of waiting out
+  /// batch_window.
+  bool continuous = false;
+  /// Policy when the queue is at max_queue.
+  Backpressure backpressure = Backpressure::Reject;
+  /// Inner parallelism budget for batch evaluation (pool workers a batch's
+  /// parallel_for may fan out to). 0 = unrestricted. Cluster replicas pin
+  /// this to their share of the pool.
+  std::size_t inner_threads = 0;
+  /// Per-replica metrics label: non-empty registers
+  /// serve.<label>.{queue_depth,requests,rejected,latency_ms,batch_size}.
+  std::string label;
+  /// Diagnostic/test hook, called on the drain thread with the batch size
+  /// right after a batch is taken off the queue and before it runs. While
+  /// it executes the kernel counts as busy: requests submitted from other
+  /// threads during the call land in the NEXT batch (what the continuous
+  /// admission test pins down).
+  std::function<void(std::size_t)> on_batch_start;
 };
 
 struct PredictResult {
@@ -59,25 +117,40 @@ class InferenceEngine {
 
   /// Enqueues one sample against the named registry model. The future
   /// resolves to the prediction, or to an exception (unknown model, grid
-  /// mismatch). Throws Error when the engine is shut down or the queue is
-  /// at max_queue.
+  /// mismatch). Throws OverloadError when the queue is at max_queue under
+  /// Backpressure::Reject, Error when the engine is shut down.
   std::future<PredictResult> submit(const std::string& model_name,
                                     optics::Field input);
 
   /// Drains all queued requests, then stops the worker. Idempotent; called
-  /// by the destructor.
+  /// by the destructor. Submitters blocked on backpressure are woken and
+  /// throw.
   void shutdown();
 
   /// Requests queued but not yet drained into a batch.
   std::size_t pending() const;
 
+  /// Requests accepted into the queue / rejected by admission control.
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
   const EngineOptions& options() const { return options_; }
 
   ServeStats::Snapshot stats() const { return stats_.snapshot(); }
 
+  /// Retained request-latency window (seconds) — see
+  /// ServeStats::latency_window.
+  std::vector<double> latency_window() const {
+    return stats_.latency_window();
+  }
+
   /// Clears counters and the latency window (e.g. between a warm-up phase
   /// and a measured run). In-flight requests keep completing normally.
-  void reset_stats() { stats_.reset(); }
+  void reset_stats();
 
  private:
   struct Request {
@@ -87,17 +160,34 @@ class InferenceEngine {
     ServeStats::Clock::time_point enqueued;
   };
 
+  /// Per-replica labelled instruments (null when options_.label is empty
+  /// or observability is compiled out). Registered once at construction;
+  /// the registry guarantees node stability so raw pointers stay valid.
+  struct LabelledMetrics {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Counter* requests = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  };
+
   void drain_loop();
   void run_group(const std::string& model_name, std::vector<Request*> group);
+  void note_queue_depth(std::size_t depth);
 
   std::shared_ptr<ModelRegistry> registry_;
   EngineOptions options_;
   ServeStats stats_;
+  LabelledMetrics labelled_;
 
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;        ///< work available / stopping
+  std::condition_variable space_cv_;  ///< queue slot freed (Block mode)
   std::deque<Request> queue_;
   bool stopping_ = false;
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 
   /// Drain-thread-only plan cache (no lock needed): name -> forward pass
   /// built against a specific published model snapshot.

@@ -95,6 +95,11 @@ ServeStats::Snapshot ServeStats::snapshot() const {
   return snap;
 }
 
+std::vector<double> ServeStats::latency_window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_;
+}
+
 void ServeStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   window_.clear();

@@ -56,6 +56,11 @@ class ServeStats {
 
   Snapshot snapshot() const;
 
+  /// Copy of the retained latency window (seconds, unordered). What
+  /// ServeCluster concatenates across replicas for true cluster-level
+  /// percentiles.
+  std::vector<double> latency_window() const;
+
   /// Clears all counters and the latency window.
   void reset();
 

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -246,6 +248,101 @@ TEST(Trace, ThreadTagsAreDenseAndStable) {
   EXPECT_NE(other_tag, main_tag);
 }
 
+TEST(TraceFlush, StreamsCompletedSpansAsJsonLines) {
+  const std::string path = ::testing::TempDir() + "/trace_flush.jsonl";
+  obs::set_tracing(true);
+  obs::clear_trace();
+  obs::set_trace_flush_file(path);
+  {
+    obs::TraceSpan outer("flush.outer");
+    obs::TraceSpan inner("flush.inner");
+  }
+  obs::set_tracing(false);
+  obs::close_trace_flush_file();
+  obs::close_trace_flush_file();  // idempotent
+  EXPECT_EQ(obs::trace_flushed(), 2u);
+
+  // One JSON line per completed span, completion order (inner first),
+  // carrying the same fields as spans_json() elements.
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"name\": \"flush.inner\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\": \"flush.outer\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"depth\": 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"duration_us\""), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(TraceFlush, OverflowCountsFlushedNotDroppedWithSinkAttached) {
+  obs::set_tracing(true);
+  obs::clear_trace();
+  // Fill the bounded buffer (64k events) with no sink: the next span is
+  // genuinely lost and counts as dropped.
+  for (std::size_t i = 0; i < (std::size_t{1} << 16); ++i) {
+    obs::TraceSpan span("fill");
+  }
+  EXPECT_EQ(obs::trace_dropped(), 0u);
+  {
+    obs::TraceSpan span("lost");
+  }
+  EXPECT_EQ(obs::trace_dropped(), 1u);
+
+  // With a sink attached the overflow spans are durable on disk: flushed
+  // advances, dropped does not.
+  const std::string path = ::testing::TempDir() + "/trace_overflow.jsonl";
+  obs::set_trace_flush_file(path);
+  {
+    obs::TraceSpan span("kept.a");
+  }
+  {
+    obs::TraceSpan span("kept.b");
+  }
+  obs::set_tracing(false);
+  obs::close_trace_flush_file();
+  EXPECT_EQ(obs::trace_dropped(), 1u);
+  EXPECT_EQ(obs::trace_flushed(), 2u);
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("kept.a"), std::string::npos);
+  EXPECT_NE(all.find("kept.b"), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(TraceFlush, BadPathThrowsAndReattachResetsCounter) {
+  EXPECT_THROW(
+      obs::set_trace_flush_file(::testing::TempDir() +
+                                "/no_such_dir_for_trace/spans.jsonl"),
+      IoError);
+
+  const std::string first = ::testing::TempDir() + "/trace_first.jsonl";
+  const std::string second = ::testing::TempDir() + "/trace_second.jsonl";
+  obs::set_tracing(true);
+  obs::clear_trace();
+  obs::set_trace_flush_file(first);
+  {
+    obs::TraceSpan span("into.first");
+  }
+  EXPECT_EQ(obs::trace_flushed(), 1u);
+  obs::set_trace_flush_file(second);  // replaces the sink, resets the count
+  EXPECT_EQ(obs::trace_flushed(), 0u);
+  {
+    obs::TraceSpan span("into.second");
+  }
+  obs::set_tracing(false);
+  obs::close_trace_flush_file();
+  EXPECT_EQ(obs::trace_flushed(), 1u);
+  std::ifstream in(second);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("into.second"), std::string::npos);
+  EXPECT_EQ(all.find("into.first"), std::string::npos);
+  obs::clear_trace();
+}
+
 TEST(ObsDisabled, MacrosEvaluateNothingAndRegisterNothing) {
   EXPECT_EQ(obs_disabled::run_disabled_instrumentation(), 0);
   for (const auto& name : obs::MetricsRegistry::global().names()) {
@@ -258,6 +355,7 @@ TEST(ExportJson, CombinedShape) {
   EXPECT_NE(combined.find("\"metrics\""), std::string::npos);
   EXPECT_NE(combined.find("\"spans\""), std::string::npos);
   EXPECT_NE(combined.find("\"trace_dropped\""), std::string::npos);
+  EXPECT_NE(combined.find("\"trace_flushed\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// Tests for src/serve/cluster and the continuous-batching / admission-control
+// engine features it builds on: mid-batch arrivals land in the NEXT batch,
+// Reject backpressure throws the typed OverloadError, Block backpressure
+// parks submitters until a slot frees, shutdown drains every admitted
+// future, routing policies place load without changing results, and the
+// cluster's predictions stay bit-for-bit identical to the single-engine
+// path. Per-replica labelled obs instruments are checked against the global
+// metrics registry (suffix convention, no new registry API).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "donn/model.hpp"
+#include "obs/obs.hpp"
+#include "optics/encode.hpp"
+#include "serve/cluster.hpp"
+#include "serve/engine.hpp"
+#include "serve/registry.hpp"
+
+namespace odonn::serve {
+namespace {
+
+donn::DonnConfig tiny_config(std::size_t n = 16, std::size_t layers = 2) {
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(n);
+  cfg.num_layers = layers;
+  cfg.init = donn::PhaseInit::Uniform;
+  return cfg;
+}
+
+donn::DonnModel make_model(const donn::DonnConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  return donn::DonnModel(cfg, rng);
+}
+
+std::vector<optics::Field> random_inputs(const optics::GridSpec& grid,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<optics::Field> inputs;
+  inputs.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    MatrixD image(grid.n, grid.n);
+    for (auto& v : image) v = rng.uniform();
+    inputs.push_back(optics::encode_image(image, grid));
+  }
+  return inputs;
+}
+
+/// Test gate wired into EngineOptions::on_batch_start: every batch blocks
+/// at the gate until release() — how the tests freeze drain threads at a
+/// deterministic point (batch taken, kernel not yet run). Thread-safe:
+/// clusters call the hook from several drain threads.
+struct BatchGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool released = false;
+  std::vector<std::size_t> sizes;  ///< batch sizes in hook-call order
+
+  std::function<void(std::size_t)> hook() {
+    return [this](std::size_t size) {
+      std::unique_lock<std::mutex> lock(mutex);
+      sizes.push_back(size);
+      cv.notify_all();  // wake waiters watching `sizes`
+      cv.wait(lock, [this] { return released; });
+    };
+  }
+
+  /// Blocks until `count` batches have reached the gate.
+  void await_batches(std::size_t count) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return sizes.size() >= count; });
+  }
+
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+TEST(ContinuousBatching, MidBatchArrivalsServedTogetherInNextBatch) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 201));
+  const auto inputs = random_inputs(cfg.grid, 4, 202);
+
+  BatchGate gate;
+  EngineOptions options;
+  options.continuous = true;
+  options.max_batch = 64;
+  options.on_batch_start = gate.hook();
+  InferenceEngine engine(registry, options);
+
+  // Request 0 forms batch 1 and freezes at the gate (kernel "busy").
+  std::vector<std::future<PredictResult>> futures;
+  futures.push_back(engine.submit("m", inputs[0]));
+  gate.await_batches(1);
+
+  // Requests 1..3 arrive mid-batch: they must all queue behind the running
+  // batch and be served TOGETHER in the next one, not trickle one-per-batch
+  // and not extend the in-flight batch.
+  for (std::size_t k = 1; k < inputs.size(); ++k) {
+    futures.push_back(engine.submit("m", inputs[k]));
+  }
+  EXPECT_EQ(engine.pending(), 3u);
+  gate.release();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+
+  std::lock_guard<std::mutex> lock(gate.mutex);
+  ASSERT_EQ(gate.sizes.size(), 2u);
+  EXPECT_EQ(gate.sizes[0], 1u);
+  EXPECT_EQ(gate.sizes[1], 3u);
+}
+
+TEST(ContinuousBatching, NeverWaitsOutTheBatchWindow) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 211));
+  const auto inputs = random_inputs(cfg.grid, 1, 212);
+
+  // A window this long would stall a sub-max_batch request for seconds in
+  // window mode; continuous mode must ignore it entirely.
+  EngineOptions options;
+  options.continuous = true;
+  options.batch_window = std::chrono::microseconds(10'000'000);
+  options.max_batch = 64;
+  InferenceEngine engine(registry, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  engine.submit("m", inputs[0]).get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Admission, RejectBackpressureThrowsTypedOverloadError) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 221));
+  const auto inputs = random_inputs(cfg.grid, 3, 222);
+
+  BatchGate gate;
+  EngineOptions options;
+  options.continuous = true;
+  options.max_queue = 1;
+  options.backpressure = Backpressure::Reject;
+  options.on_batch_start = gate.hook();
+  InferenceEngine engine(registry, options);
+
+  // Request 0 is in flight (frozen at the gate), request 1 fills the
+  // 1-deep queue; request 2 must be rejected with the TYPED error.
+  auto first = engine.submit("m", inputs[0]);
+  gate.await_batches(1);
+  auto second = engine.submit("m", inputs[1]);
+  EXPECT_THROW(engine.submit("m", inputs[2]), OverloadError);
+  EXPECT_EQ(engine.rejected(), 1u);
+  EXPECT_EQ(engine.admitted(), 2u);
+
+  gate.release();
+  EXPECT_NO_THROW(first.get());
+  EXPECT_NO_THROW(second.get());
+}
+
+TEST(Admission, BlockBackpressureParksSubmitterUntilSlotFrees) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 231));
+  const auto inputs = random_inputs(cfg.grid, 3, 232);
+
+  BatchGate gate;
+  EngineOptions options;
+  options.continuous = true;
+  options.max_queue = 1;
+  options.backpressure = Backpressure::Block;
+  options.on_batch_start = gate.hook();
+  InferenceEngine engine(registry, options);
+
+  auto first = engine.submit("m", inputs[0]);
+  gate.await_batches(1);
+  auto second = engine.submit("m", inputs[1]);  // queue now full
+
+  std::promise<void> parked_done;
+  auto parked_signal = parked_done.get_future();
+  std::future<PredictResult> third;
+  std::thread submitter([&] {
+    third = engine.submit("m", inputs[2]);  // must park, not throw
+    parked_done.set_value();
+  });
+  // The submitter must still be parked while the queue is full.
+  EXPECT_EQ(parked_signal.wait_for(std::chrono::milliseconds(100)),
+            std::future_status::timeout);
+
+  gate.release();  // drain frees the slot -> the parked submit completes
+  parked_signal.get();
+  submitter.join();
+  EXPECT_NO_THROW(first.get());
+  EXPECT_NO_THROW(second.get());
+  EXPECT_NO_THROW(third.get());
+  EXPECT_EQ(engine.rejected(), 0u);
+  EXPECT_EQ(engine.admitted(), 3u);
+}
+
+TEST(Cluster, ResultsBitForBitIdenticalToSingleEngine) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 241));
+  const auto inputs = random_inputs(cfg.grid, 24, 242);
+
+  // Reference: the plain single engine (window batching, default options).
+  std::vector<PredictResult> reference;
+  {
+    InferenceEngine engine(registry);
+    std::vector<std::future<PredictResult>> futures;
+    for (const auto& input : inputs) {
+      futures.push_back(engine.submit("m", input));
+    }
+    for (auto& future : futures) reference.push_back(future.get());
+  }
+
+  for (const Routing routing : {Routing::LeastLoaded, Routing::Hash}) {
+    ClusterOptions options;
+    options.replicas = 3;
+    options.routing = routing;
+    ServeCluster cluster(registry, options);
+    std::vector<std::future<PredictResult>> futures;
+    for (const auto& input : inputs) {
+      futures.push_back(cluster.submit("m", input));
+    }
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      const PredictResult result = futures[k].get();
+      EXPECT_EQ(result.predicted, reference[k].predicted);
+      ASSERT_EQ(result.detector_sums.size(),
+                reference[k].detector_sums.size());
+      for (std::size_t c = 0; c < result.detector_sums.size(); ++c) {
+        // Exact: replication and routing may move requests, never bits.
+        EXPECT_EQ(result.detector_sums[c], reference[k].detector_sums[c]);
+      }
+    }
+  }
+}
+
+TEST(Cluster, ShutdownDrainsEveryAdmittedFuture) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 251));
+  const auto inputs = random_inputs(cfg.grid, 20, 252);
+
+  ClusterOptions options;
+  options.replicas = 2;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  cluster.shutdown();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  EXPECT_EQ(cluster.pending(), 0u);
+  EXPECT_EQ(cluster.admitted(), inputs.size());
+  EXPECT_THROW(cluster.submit("m", inputs[0]), Error);
+}
+
+TEST(Cluster, HashRoutingIsModelAffine) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 261));
+  const auto inputs = random_inputs(cfg.grid, 8, 262);
+
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = Routing::Hash;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  for (auto& future : futures) future.get();
+
+  // Every request for one model must land on ONE replica (model affinity:
+  // exactly one plan cache ever holds this model).
+  std::size_t replicas_hit = 0;
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+    replicas_hit += cluster.replica(i).stats().requests > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(replicas_hit, 1u);
+  EXPECT_EQ(cluster.stats().requests, inputs.size());
+}
+
+TEST(Cluster, LeastLoadedSpreadsLoadAcrossReplicas) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 271));
+  const auto inputs = random_inputs(cfg.grid, 10, 272);
+
+  // Freeze both drain threads (max_batch=1, gate) so submitted requests
+  // accumulate: least-loaded routing must then balance the two queues
+  // instead of piling everything on replica 0.
+  BatchGate gate;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = Routing::LeastLoaded;
+  options.engine.max_batch = 1;
+  options.engine.on_batch_start = gate.hook();
+  ServeCluster cluster(registry, options);
+
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  // At most one request per replica left the queues (both gates held), so
+  // at least 8 of 10 are still queued, balanced within one of each other.
+  const std::vector<std::size_t> depths = cluster.replica_pending();
+  ASSERT_EQ(depths.size(), 2u);
+  EXPECT_GE(depths[0], 1u);
+  EXPECT_GE(depths[1], 1u);
+
+  gate.release();
+  for (auto& future : futures) EXPECT_NO_THROW(future.get());
+  EXPECT_EQ(cluster.stats().requests, inputs.size());
+}
+
+TEST(Cluster, SnapshotAggregatesAcrossReplicas) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 281));
+  const auto inputs = random_inputs(cfg.grid, 16, 282);
+
+  ClusterOptions options;
+  options.replicas = 2;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  for (auto& future : futures) future.get();
+
+  const auto snap = cluster.stats();
+  EXPECT_EQ(snap.requests, inputs.size());
+  EXPECT_EQ(snap.admitted, inputs.size());
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.errors, 0u);
+  EXPECT_EQ(snap.queue_depth, 0u);
+  ASSERT_EQ(snap.replicas.size(), 2u);
+  ASSERT_EQ(snap.replica_queue_depth.size(), 2u);
+  // Merged percentiles come from the concatenated replica windows: with
+  // completed requests they must be positive and ordered.
+  EXPECT_GT(snap.p50_ms, 0.0);
+  EXPECT_GE(snap.p99_ms, snap.p50_ms);
+  // The auto inner split always grants each replica at least one thread.
+  EXPECT_GE(cluster.options().engine.inner_threads, 1u);
+
+  cluster.reset_stats();
+  EXPECT_EQ(cluster.stats().requests, 0u);
+  EXPECT_EQ(cluster.admitted(), 0u);
+}
+
+TEST(Cluster, RegistersPerReplicaLabelledInstruments) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 291));
+  const auto inputs = random_inputs(cfg.grid, 6, 292);
+
+#ifndef ODONN_OBS_DISABLE
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::uint64_t before = metrics.counter("serve.replica0.requests").value() +
+                               metrics.counter("serve.replica1.requests").value();
+#endif
+
+  ClusterOptions options;
+  options.replicas = 2;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  for (auto& future : futures) future.get();
+
+#ifndef ODONN_OBS_DISABLE
+  // Suffix convention: serve.replicaK.* instruments exist in the global
+  // registry and the per-replica request counters account for exactly the
+  // traffic this cluster served.
+  const auto names = metrics.names();
+  for (const std::string& name :
+       {std::string("serve.replica0.queue_depth"),
+        std::string("serve.replica0.requests"),
+        std::string("serve.replica0.rejected"),
+        std::string("serve.replica0.latency_ms"),
+        std::string("serve.replica0.batch_size"),
+        std::string("serve.replica1.requests")}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "missing instrument " << name;
+  }
+  const std::uint64_t after = metrics.counter("serve.replica0.requests").value() +
+                              metrics.counter("serve.replica1.requests").value();
+  EXPECT_EQ(after - before, inputs.size());
+  // Prometheus rendering keeps the suffix readable after dot-mangling.
+  EXPECT_NE(metrics.to_text().find("odonn_serve_replica0_queue_depth"),
+            std::string::npos);
+#endif
+}
+
+TEST(Cluster, RejectsLabelledEngineTemplateAndZeroReplicas) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 295));
+
+  ClusterOptions labelled;
+  labelled.engine.label = "mine";
+  EXPECT_THROW(ServeCluster(registry, labelled), Error);
+
+  ClusterOptions zero;
+  zero.replicas = 0;
+  EXPECT_THROW(ServeCluster(registry, zero), Error);
+}
+
+}  // namespace
+}  // namespace odonn::serve
