@@ -81,11 +81,53 @@ Percentiles percentiles_ms(const std::vector<double>& latencies) {
   return p;
 }
 
+/// Latency-attribution percentiles (queue_wait / batch_wait / compute)
+/// over the replicas' attribution windows concatenated — the same merge
+/// rule as the end-to-end percentiles.
+struct AttrPercentiles {
+  Percentiles queue_wait;
+  Percentiles batch_wait;
+  Percentiles compute;
+};
+
+AttrPercentiles merged_attribution(const serve::ServeCluster& cluster) {
+  serve::ServeStats::AttributionWindows merged;
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+    const auto windows = cluster.replica(i).attribution_window();
+    merged.queue_wait.insert(merged.queue_wait.end(),
+                             windows.queue_wait.begin(),
+                             windows.queue_wait.end());
+    merged.batch_wait.insert(merged.batch_wait.end(),
+                             windows.batch_wait.begin(),
+                             windows.batch_wait.end());
+    merged.compute.insert(merged.compute.end(), windows.compute.begin(),
+                          windows.compute.end());
+  }
+  AttrPercentiles attr;
+  attr.queue_wait = percentiles_ms(merged.queue_wait);
+  attr.batch_wait = percentiles_ms(merged.batch_wait);
+  attr.compute = percentiles_ms(merged.compute);
+  return attr;
+}
+
+std::string json_percentiles(const Percentiles& p) {
+  return "{\"p50_ms\": " + bench::json_number(p.p50_ms) +
+         ", \"p99_ms\": " + bench::json_number(p.p99_ms) +
+         ", \"p999_ms\": " + bench::json_number(p.p999_ms) + "}";
+}
+
+std::string json_attr(const AttrPercentiles& a) {
+  return "{\"queue_wait\": " + json_percentiles(a.queue_wait) +
+         ", \"batch_wait\": " + json_percentiles(a.batch_wait) +
+         ", \"compute\": " + json_percentiles(a.compute) + "}";
+}
+
 struct ClosedRow {
   std::size_t replicas = 0;
   double saturation_rps = 0.0;
   double mean_batch = 0.0;
   Percentiles lat;
+  AttrPercentiles attr;
   std::uint64_t digest = kFnv1aBasis;
 };
 
@@ -96,6 +138,7 @@ struct OpenRow {
   std::size_t completed = 0;
   std::size_t rejected = 0;
   Percentiles lat;
+  AttrPercentiles attr;
 };
 
 std::string json_closed(const ClosedRow& r) {
@@ -105,6 +148,7 @@ std::string json_closed(const ClosedRow& r) {
          ", \"p50_ms\": " + bench::json_number(r.lat.p50_ms) +
          ", \"p99_ms\": " + bench::json_number(r.lat.p99_ms) +
          ", \"p999_ms\": " + bench::json_number(r.lat.p999_ms) +
+         ", \"attr\": " + json_attr(r.attr) +
          ", \"digest\": \"" + bench::hex64(r.digest) + "\"}";
 }
 
@@ -116,7 +160,8 @@ std::string json_open(const OpenRow& r) {
          ", \"rejected\": " + std::to_string(r.rejected) +
          ", \"p50_ms\": " + bench::json_number(r.lat.p50_ms) +
          ", \"p99_ms\": " + bench::json_number(r.lat.p99_ms) +
-         ", \"p999_ms\": " + bench::json_number(r.lat.p999_ms) + "}";
+         ", \"p999_ms\": " + bench::json_number(r.lat.p999_ms) +
+         ", \"attr\": " + json_attr(r.attr) + "}";
 }
 
 }  // namespace
@@ -208,6 +253,7 @@ int main(int argc, char** argv) {
     row.saturation_rps = static_cast<double>(requests) / elapsed;
     row.mean_batch = cluster.stats().mean_batch_size;
     row.lat = percentiles_ms(merged_latencies(cluster));
+    row.attr = merged_attribution(cluster);
     if (print_text) {
       std::printf("%8zu | %14.1f | %8.3f | %8.3f | %8.3f | %10.1f\n",
                   row.replicas, row.saturation_rps, row.lat.p50_ms,
@@ -280,6 +326,7 @@ int main(int argc, char** argv) {
       row.completed = futures.size();
       row.achieved_rps = static_cast<double>(row.completed) / elapsed;
       row.lat = percentiles_ms(merged_latencies(cluster));
+      row.attr = merged_attribution(cluster);
       if (print_text) {
         std::printf("%12.1f | %12.1f | %9zu | %9zu | %8.3f | %8.3f | %8.3f\n",
                     row.offered_qps, row.achieved_rps, row.completed,

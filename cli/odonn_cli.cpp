@@ -56,12 +56,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -77,8 +79,10 @@
 #include "donn/serialize.hpp"
 #include "fab/montecarlo.hpp"
 #include "fab/spec.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 #include "optics/encode.hpp"
+#include "tensor/stats.hpp"
 #include "pipeline/parser.hpp"
 #include "serve/cluster.hpp"
 #include "serve/engine.hpp"
@@ -178,6 +182,10 @@ void print_usage() {
       "         replicas=1 routing=least-loaded|hash queue_depth=65536\n"
       "         backpressure=reject|block continuous=0|1 (default 1: admit\n"
       "         into the next batch the moment the kernel frees up)\n"
+      "         http_port=0|PORT (observability HTTP plane; 0 = ephemeral)\n"
+      "         http_wait_s=S (stay scrapable S seconds after the bench,\n"
+      "         or until GET /quitquitquit) snapshot_file=PATH (JSONL\n"
+      "         ClusterSnapshot sink, one line per snapshot_s tick)\n"
       "  all subcommands: metrics=PATH (.json or .prom/.txt) trace=PATH\n"
       "         export the metrics registry / Chrome-trace spans on success;\n"
       "         trace_stream=PATH streams completed spans as JSON lines\n"
@@ -426,8 +434,8 @@ int cmd_table(const Config& cfg) {
 int cmd_serve(const Config& cfg) {
   cfg.strict({"model", "grid", "samples", "batch", "seed", "format",
               "action", "metrics", "trace", "trace_stream", "snapshot_s",
-              "replicas", "routing", "queue_depth", "backpressure",
-              "continuous"});
+              "snapshot_file", "replicas", "routing", "queue_depth",
+              "backpressure", "continuous", "http_port", "http_wait_s"});
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const std::string action =
@@ -449,6 +457,26 @@ int cmd_serve(const Config& cfg) {
   }
   const std::string backpressure =
       cfg.get_enum("backpressure", "reject", {"reject", "block"});
+
+  // http_port=PORT starts the observability HTTP plane for the run (0 =
+  // ephemeral, resolved port is logged and reported in the JSON record).
+  // http_wait_s=SECONDS keeps the process alive (cluster up, plane
+  // scrapable) after the bench finishes, until the timeout or a
+  // GET /quitquitquit — how scripts scrape a live run.
+  const long http_port_arg = cfg.get_int("http_port", -1);
+  if (http_port_arg < -1 || http_port_arg > 65535) {
+    throw ConfigError("serve: http_port must be in [0, 65535]");
+  }
+  const bool http_enabled = http_port_arg >= 0;
+  const double http_wait_s = cfg.get_double("http_wait_s", 0.0);
+  if (http_wait_s > 0.0 && !http_enabled) {
+    throw ConfigError("serve: http_wait_s requires http_port");
+  }
+  const double snapshot_s = cfg.get_double("snapshot_s", 0.0);
+  const std::string snapshot_file = cfg.get_string("snapshot_file", "");
+  if (!snapshot_file.empty() && snapshot_s <= 0.0) {
+    throw ConfigError("serve: snapshot_file requires snapshot_s > 0");
+  }
 
   auto registry = std::make_shared<serve::ModelRegistry>();
   if (cfg.has("model")) {
@@ -525,9 +553,10 @@ int cmd_serve(const Config& cfg) {
   // snapshot_s=SECONDS: a background thread logs a cluster snapshot at
   // that period while the bench runs (observability only). With replicas>1
   // the line carries the cluster aggregates — total queue depth and
-  // per-replica RPS — not just single-engine stats. RAII so the thread is
-  // joined even when the bench throws.
-  const double snapshot_s = cfg.get_double("snapshot_s", 0.0);
+  // per-replica RPS — not just single-engine stats. snapshot_file=PATH
+  // additionally appends one cluster_snapshot_json line per interval
+  // (JSONL; parent directories are created). RAII so the thread is joined
+  // even when the bench throws.
   struct SnapshotLoop {
     std::atomic<bool> running{true};
     std::thread thread;
@@ -537,32 +566,100 @@ int cmd_serve(const Config& cfg) {
     }
   } snapshots;
   if (snapshot_s > 0.0) {
-    snapshots.thread = std::thread([&cluster, &snapshots, snapshot_s] {
-      const auto tick = std::chrono::milliseconds(50);
-      auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                     std::chrono::duration<double>(snapshot_s));
-      while (snapshots.running.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(tick);
-        if (Clock::now() < next) continue;
-        next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                  std::chrono::duration<double>(snapshot_s));
-        const auto snap = cluster.stats();
-        auto line = log::info();
-        line << "serve snapshot: requests=" << snap.requests
-             << " errors=" << snap.errors << " rejected=" << snap.rejected
-             << " p50_ms=" << snap.p50_ms << " p99_ms=" << snap.p99_ms
-             << " rps=" << snap.throughput_rps
-             << " mean_batch=" << snap.mean_batch_size
-             << " queue=" << snap.queue_depth;
-        if (cluster.replica_count() > 1) {
-          for (std::size_t r = 0; r < snap.replicas.size(); ++r) {
-            line << " replica" << r << "=(rps="
-                 << snap.replicas[r].throughput_rps << " queue="
-                 << snap.replica_queue_depth[r] << ")";
-          }
-        }
+    std::shared_ptr<std::ofstream> sink;
+    if (!snapshot_file.empty()) {
+      const std::filesystem::path path(snapshot_file);
+      if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path());
       }
+      sink = std::make_shared<std::ofstream>(path);
+      if (!*sink) {
+        throw IoError("serve: cannot open snapshot_file " + snapshot_file);
+      }
+    }
+    snapshots.thread =
+        std::thread([&cluster, &snapshots, snapshot_s, sink] {
+          const auto tick = std::chrono::milliseconds(50);
+          auto next =
+              Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(snapshot_s));
+          while (snapshots.running.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(tick);
+            if (Clock::now() < next) continue;
+            next =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(snapshot_s));
+            const auto snap = cluster.stats();
+            if (sink) {
+              *sink << serve::cluster_snapshot_json(snap) << "\n";
+              sink->flush();
+            }
+            auto line = log::info();
+            line << "serve snapshot: requests=" << snap.requests
+                 << " errors=" << snap.errors << " rejected=" << snap.rejected
+                 << " p50_ms=" << snap.p50_ms << " p99_ms=" << snap.p99_ms
+                 << " rps=" << snap.throughput_rps
+                 << " mean_batch=" << snap.mean_batch_size
+                 << " queue=" << snap.queue_depth;
+            if (cluster.replica_count() > 1) {
+              for (std::size_t r = 0; r < snap.replicas.size(); ++r) {
+                line << " replica" << r << "=(rps="
+                     << snap.replicas[r].throughput_rps << " queue="
+                     << snap.replica_queue_depth[r] << ")";
+              }
+            }
+          }
+        });
+  }
+
+  // The HTTP plane is declared AFTER the cluster and snapshot loop so it
+  // stops first: /snapshot handlers referencing the live cluster can never
+  // run against a destroyed one. It only reads observability state, so
+  // prediction digests are bitwise identical whether it is on or off.
+  struct HttpPlane {
+    obs::HttpServer server;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool quit = false;
+    std::atomic<bool> draining{false};
+    explicit HttpPlane(obs::HttpServerOptions options)
+        : server(std::move(options)) {}
+  };
+  std::unique_ptr<HttpPlane> http;
+  if (http_enabled) {
+    obs::HttpServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(http_port_arg);
+    http = std::make_unique<HttpPlane>(server_options);
+    obs::ObsRouteOptions routes;
+    HttpPlane* plane = http.get();
+    serve::ServeCluster* cluster_ptr = &cluster;
+    routes.health_extra = [plane, cluster_ptr, replicas] {
+      return "\"replicas\": " + std::to_string(replicas) +
+             ", \"queue_depth\": " + std::to_string(cluster_ptr->pending()) +
+             ", \"draining\": " +
+             (plane->draining.load(std::memory_order_relaxed) ? "true"
+                                                              : "false");
+    };
+    obs::register_obs_routes(http->server, std::move(routes));
+    http->server.handle("/snapshot", [cluster_ptr](const obs::HttpRequest&) {
+      obs::HttpResponse response;
+      response.content_type = "application/json";
+      response.body = serve::cluster_snapshot_json(cluster_ptr->stats());
+      return response;
     });
+    http->server.handle("/quitquitquit", [plane](const obs::HttpRequest&) {
+      {
+        std::lock_guard<std::mutex> lock(plane->mutex);
+        plane->quit = true;
+      }
+      plane->cv.notify_all();
+      obs::HttpResponse response;
+      response.body = "shutting down\n";
+      return response;
+    });
+    http->server.start();
+    log::info() << "serve: http plane listening on 127.0.0.1:"
+                << http->server.port();
   }
 
   if (print_text) {
@@ -584,8 +681,17 @@ int cmd_serve(const Config& cfg) {
                      ", \"routing\": " + bench::json_quote(routing) +
                      ", \"continuous\": " +
                      (cluster_options.continuous ? "true" : "false") +
-                     ", \"threads\": " + std::to_string(thread_count()) +
-                     ", \"rows\": [\n";
+                     ", \"threads\": " + std::to_string(thread_count());
+  if (http_enabled) {
+    json += ", \"http_port\": " + std::to_string(http->server.port());
+  }
+  json += ", \"rows\": [\n";
+  const auto attr_row =
+      [](const serve::ServeCluster::ClusterSnapshot::AttributionSummary& s) {
+        return "{\"p50_ms\": " + bench::json_number(s.p50_ms) +
+               ", \"p99_ms\": " + bench::json_number(s.p99_ms) +
+               ", \"p999_ms\": " + bench::json_number(s.p999_ms) + "}";
+      };
   for (std::size_t i = 0; i < names.size(); ++i) {
     const std::string& name = names[i];
     const auto inputs = make_inputs(registry->get(name)->config().grid);
@@ -599,7 +705,16 @@ int cmd_serve(const Config& cfg) {
     for (const auto& input : inputs) {
       futures.push_back(cluster.submit(name, input));
     }
-    for (auto& future : futures) future.get();
+    // Digest in submit order: a deterministic function of seed + grid
+    // alone, so it must be bitwise identical across replicas=, routing=,
+    // ODONN_THREADS and http_port= on/off (scripts/check.sh compares).
+    std::uint64_t digest = kFnv1aBasis;
+    for (auto& future : futures) {
+      const serve::PredictResult result = future.get();
+      for (const double v : result.detector_sums) {
+        digest = fnv1a_mix(digest, v);
+      }
+    }
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     const auto snap = cluster.stats();
@@ -612,11 +727,30 @@ int cmd_serve(const Config& cfg) {
             ", \"samples_per_sec\": " + bench::json_number(throughput) +
             ", \"p50_ms\": " + bench::json_number(snap.p50_ms) +
             ", \"p99_ms\": " + bench::json_number(snap.p99_ms) +
+            ", \"p999_ms\": " + bench::json_number(snap.p999_ms) +
             ", \"mean_batch\": " + bench::json_number(snap.mean_batch_size) +
-            "}" + (i + 1 < names.size() ? ",\n" : "\n");
+            ", \"attr\": {\"queue_wait\": " + attr_row(snap.queue_wait) +
+            ", \"batch_wait\": " + attr_row(snap.batch_wait) +
+            ", \"compute\": " + attr_row(snap.compute) + "}" +
+            ", \"digest\": \"" + bench::hex64(digest) + "\"}" +
+            (i + 1 < names.size() ? ",\n" : "\n");
   }
   json += "]}";
   if (format != bench::OutputFormat::Text) std::printf("%s\n", json.c_str());
+
+  // http_wait_s linger: output is flushed, the cluster stays up, and the
+  // HTTP plane keeps answering until the timeout or a GET /quitquitquit —
+  // the hook scripts/check.sh uses to scrape a LIVE process.
+  if (http && http_wait_s > 0.0) {
+    std::fflush(stdout);
+    std::unique_lock<std::mutex> lock(http->mutex);
+    http->cv.wait_for(
+        lock,
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(http_wait_s)),
+        [&] { return http->quit; });
+  }
+  if (http) http->draining.store(true, std::memory_order_relaxed);
   return 0;
 }
 

@@ -2,10 +2,11 @@
 # Tier-1 verify: configure, build, ctest, plus smokes of the Monte-Carlo
 # robustness CLI, robust training, the parallel table executor (with
 # cross-thread-count and cross-jobs digest compares), the observability
-# exports (metrics-on rows bitwise identical to plain), and the serve
+# exports (metrics-on rows bitwise identical to plain), the serve
 # cluster (cluster-vs-single-engine prediction digest equality across
-# ODONN_THREADS) — the single entry point CI and humans run before
-# merging. src/serve,
+# ODONN_THREADS), and the observability HTTP plane (scrape a live serve
+# run, then prove digests identical with the plane on vs off) — the
+# single entry point CI and humans run before merging. src/serve,
 # src/pipeline, src/fab, src/obs and src/common/parallel.cpp compile with
 # -Wall -Wextra -Werror (set in CMakeLists.txt), so any warning there
 # fails this script at the build step.
@@ -166,3 +167,96 @@ if [ "$sd1" != "$sd2" ]; then
   exit 1
 fi
 echo "serve smoke: cluster digest identical to single engine (threads 1 vs 4)"
+
+# HTTP-plane smoke: a live serve run with the observability HTTP plane up
+# must (a) report build provenance on /healthz, (b) serve a /metrics body
+# carrying the serve counters and the attribution summary families, (c)
+# stream ClusterSnapshot JSONL to snapshot_file=, and (d) shut down with
+# exit 0 on GET /quitquitquit. Scrapes land in build/http_artifacts/ for
+# CI upload. The per-row response digest with the plane ON (THREADS=4,
+# replicas=2) must then equal a plane-OFF THREADS=1 replicas=1 run — the
+# HTTP plane and attribution stamps only read state, they never feed back
+# into the computation.
+rm -rf http_artifacts && mkdir -p http_artifacts
+ODONN_THREADS=4 ./odonn_cli serve grid=16 samples=48 batch=16 replicas=2 \
+  http_port=0 http_wait_s=30 snapshot_s=0.2 \
+  snapshot_file=http_artifacts/snapshots.jsonl format=json \
+  > http_artifacts/serve_http.json 2> http_artifacts/serve_http.log &
+serve_pid=$!
+http_fail() {  # $1=message
+  echo "http smoke: $1" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+port=""
+i=0
+while [ "$i" -lt 100 ]; do
+  port="$(grep -o 'listening on 127.0.0.1:[0-9]*' \
+            http_artifacts/serve_http.log 2>/dev/null |
+          grep -o '[0-9]*$' || true)"
+  [ -n "$port" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || http_fail "serve exited prematurely"
+  sleep 0.1
+  i=$((i + 1))
+done
+[ -n "$port" ] || http_fail "serve never reported its http port"
+# Wait until the bench record is out (the process then lingers, scrapable,
+# inside http_wait_s) so the scraped counters cover the whole run.
+i=0
+until grep -q '"rows"' http_artifacts/serve_http.json 2>/dev/null; do
+  [ "$i" -lt 300 ] || http_fail "serve bench never emitted its JSON record"
+  kill -0 "$serve_pid" 2>/dev/null || http_fail "serve exited prematurely"
+  sleep 0.1
+  i=$((i + 1))
+done
+./http_get 127.0.0.1 "$port" /healthz > http_artifacts/healthz.json ||
+  http_fail "/healthz scrape failed"
+./http_get 127.0.0.1 "$port" /metrics > http_artifacts/metrics.prom ||
+  http_fail "/metrics scrape failed"
+./http_get 127.0.0.1 "$port" /metrics.json > http_artifacts/metrics.json ||
+  http_fail "/metrics.json scrape failed"
+./http_get 127.0.0.1 "$port" /snapshot > http_artifacts/snapshot.json ||
+  http_fail "/snapshot scrape failed"
+./http_get 127.0.0.1 "$port" /spans > http_artifacts/spans.json ||
+  http_fail "/spans scrape failed"
+for needle in '"git_sha"' '"replicas": 2' '"draining": false'; do
+  grep -q "$needle" http_artifacts/healthz.json ||
+    http_fail "/healthz missing $needle"
+done
+for needle in 'odonn_serve_requests' 'odonn_serve_attr_queue_wait_ms' \
+              'odonn_serve_attr_compute_ms' 'quantile="0.999"' \
+              'odonn_obs_http_requests'; do
+  grep -q "$needle" http_artifacts/metrics.prom ||
+    http_fail "/metrics missing $needle"
+done
+grep -q '"attr"' http_artifacts/snapshot.json ||
+  http_fail "/snapshot missing attribution summary"
+# snapshot_s=0.2 keeps ticking during the linger, so at least one JSONL
+# line must appear before we ask the process to quit.
+i=0
+until [ -s http_artifacts/snapshots.jsonl ]; do
+  [ "$i" -lt 100 ] || http_fail "snapshot_file never received a line"
+  sleep 0.1
+  i=$((i + 1))
+done
+grep -q '"attr"' http_artifacts/snapshots.jsonl ||
+  http_fail "snapshot_file lines missing attribution summary"
+./http_get 127.0.0.1 "$port" /quitquitquit > /dev/null ||
+  http_fail "/quitquitquit failed"
+wait "$serve_pid" ||
+  { echo "http smoke: serve exited nonzero after /quitquitquit" >&2; exit 1; }
+hd_on="$(grep -o '"digest": "[0-9a-f]*"' http_artifacts/serve_http.json |
+         head -n 1)"
+[ -n "$hd_on" ] || { echo "http smoke: no digest in serve record" >&2; exit 1; }
+plain="$(ODONN_THREADS=1 ./odonn_cli serve grid=16 samples=48 batch=16 \
+  replicas=1 format=json)" ||
+  { echo "http smoke: plane-off serve run failed" >&2; exit 1; }
+hd_off="$(printf '%s\n' "$plain" | grep -o '"digest": "[0-9a-f]*"' |
+          head -n 1)"
+if [ "$hd_on" != "$hd_off" ]; then
+  echo "http smoke: digests differ between http-on and http-off runs" >&2
+  echo "http on  (threads=4 replicas=2): $hd_on" >&2
+  echo "http off (threads=1 replicas=1): $hd_off" >&2
+  exit 1
+fi
+echo "http smoke: scrapes, JSONL sink, clean shutdown, digest identical on/off"

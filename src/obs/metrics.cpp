@@ -11,10 +11,7 @@
 #include "tensor/stats.hpp"
 
 namespace odonn::obs {
-namespace {
 
-/// Shortest round-trip double formatting (matches the bench JSON
-/// convention: integral values print without an exponent or trailing dot).
 std::string format_double(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
@@ -28,6 +25,8 @@ std::string format_double(double value) {
   }
   return buffer;
 }
+
+namespace {
 
 std::string prometheus_name(const std::string& name) {
   std::string out = "odonn_";
@@ -87,6 +86,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   snap.p50 = at(0.50);
   snap.p90 = at(0.90);
   snap.p99 = at(0.99);
+  snap.p999 = at(0.999);
   return snap;
 }
 
@@ -138,6 +138,14 @@ MetricsRegistry& MetricsRegistry::global() {
     r->histogram("serve.latency_ms");
     r->histogram("serve.batch_size");
     r->gauge("serve.queue_depth");
+    // Per-request latency attribution: submit->dequeue (admission queue),
+    // dequeue->kernel (batch formation), kernel->done (compute). Summed
+    // they equal the end-to-end serve.latency_ms sample for that request.
+    r->histogram("serve.attr.queue_wait_ms");
+    r->histogram("serve.attr.batch_wait_ms");
+    r->histogram("serve.attr.compute_ms");
+    r->counter("obs.http.requests");
+    r->counter("obs.http.errors");
     r->counter("fft.plan_cache.hits");
     r->counter("fft.plan_cache.misses");
     r->gauge("fft.plan_cache.lengths");
@@ -256,7 +264,8 @@ std::string MetricsRegistry::to_json() const {
                    << ", \"max\": " << format_double(snap.max)
                    << ", \"p50\": " << format_double(snap.p50)
                    << ", \"p90\": " << format_double(snap.p90)
-                   << ", \"p99\": " << format_double(snap.p99) << "}";
+                   << ", \"p99\": " << format_double(snap.p99)
+                   << ", \"p999\": " << format_double(snap.p999) << "}";
         first_histogram = false;
         break;
       }
@@ -280,6 +289,9 @@ std::string MetricsRegistry::to_text() const {
   std::ostringstream out;
   for (const auto& [name, entry] : items) {
     const std::string prom = prometheus_name(name);
+    // HELP carries the dotted registry name so a scrape can be mapped back
+    // to the instrument without undoing the sanitization.
+    out << "# HELP " << prom << " odonn metric '" << name << "'\n";
     switch (entry->kind) {
       case Entry::Kind::Counter:
         out << "# TYPE " << prom << " counter\n"
@@ -298,6 +310,8 @@ std::string MetricsRegistry::to_text() const {
             << prom << "{quantile=\"0.9\"} " << format_double(snap.p90)
             << "\n"
             << prom << "{quantile=\"0.99\"} " << format_double(snap.p99)
+            << "\n"
+            << prom << "{quantile=\"0.999\"} " << format_double(snap.p999)
             << "\n"
             << prom << "_sum " << format_double(snap.sum) << "\n"
             << prom << "_count " << snap.count << "\n";

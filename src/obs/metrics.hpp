@@ -28,6 +28,11 @@
 
 namespace odonn::obs {
 
+/// Shortest round-trip double formatting shared by the obs exporters and
+/// the serve snapshot JSON (integral values print without an exponent or
+/// trailing dot, matching the bench JSON convention).
+std::string format_double(double value);
+
 /// Monotonic event count. Relaxed atomics: totals are exact, cross-counter
 /// ordering is not promised (exporters snapshot, they don't reconcile).
 class Counter {
@@ -98,6 +103,7 @@ class Histogram {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
 
   /// Zeroed snapshot when nothing was observed.
@@ -142,12 +148,16 @@ class MetricsRegistry {
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
   /// with names sorted; gauges carry {"value", "max"}, histograms carry
-  /// {"count", "sum", "min", "max", "p50", "p90", "p99"}.
+  /// {"count", "sum", "min", "max", "p50", "p90", "p99", "p999"}.
   std::string to_json() const;
 
   /// Prometheus-style exposition: dots in names become underscores, every
-  /// metric is prefixed "odonn_", histograms export as summaries
-  /// (quantile-labelled samples plus _count/_sum).
+  /// metric is prefixed "odonn_" and preceded by # HELP / # TYPE lines;
+  /// histograms export as summaries (quantile-labelled samples for
+  /// 0.5/0.9/0.99/0.999 plus _count/_sum). All quantiles go through the
+  /// repo-wide odonn::nearest_rank rule, so they agree with the serve
+  /// benches to the bit. This is the exact body `GET /metrics` serves
+  /// (tests assert byte equality).
   std::string to_text() const;
 
   /// Zeroes every instrument IN PLACE — nodes survive so cached references

@@ -1,12 +1,54 @@
 #include "obs/obs.hpp"
 
+#include <chrono>
 #include <sstream>
 
 namespace odonn::obs {
 
+namespace {
+
+// Pinned at static init so /healthz uptime covers (almost) the whole
+// process life, not the time since the first scrape.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+std::string build_info_json() {
+#ifdef ODONN_GIT_SHA
+  const char* git_sha = ODONN_GIT_SHA;
+#else
+  const char* git_sha = "unknown";
+#endif
+#ifdef ODONN_OBS_DISABLE
+  const bool obs_disabled = true;
+#else
+  const bool obs_disabled = false;
+#endif
+#if defined(__VERSION__)
+  const char* compiler = __VERSION__;
+#else
+  const char* compiler = "unknown";
+#endif
+  std::ostringstream out;
+  out << "{\"git_sha\": \"" << git_sha << "\", \"compiler\": \"" << compiler
+      << "\", \"obs_disabled\": " << (obs_disabled ? "true" : "false")
+      << ", \"obs_detail\": " << (detail_enabled() ? "true" : "false")
+      << ", \"tracing\": " << (tracing_enabled() ? "true" : "false")
+      << ", \"uptime_s\": " << format_double(process_uptime_seconds()) << "}";
+  return out.str();
+}
+
 std::string export_json() {
   std::ostringstream out;
-  out << "{\"metrics\": " << MetricsRegistry::global().to_json()
+  out << "{\"build\": " << build_info_json()
+      << ", \"metrics\": " << MetricsRegistry::global().to_json()
       << ", \"spans\": " << spans_json()
       << ", \"trace_dropped\": " << trace_dropped()
       << ", \"trace_flushed\": " << trace_flushed() << "}";

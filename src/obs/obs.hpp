@@ -18,10 +18,23 @@
 
 namespace odonn::obs {
 
-/// Combined export: {"metrics": <MetricsRegistry::to_json()>,
-/// "spans": <spans_json()>, "trace_dropped": N, "trace_flushed": N}. The
-/// shape written by the CLI `metrics=` key and embedded in bench records.
+/// Combined export: {"build": <build_info_json()>,
+/// "metrics": <MetricsRegistry::to_json()>, "spans": <spans_json()>,
+/// "trace_dropped": N, "trace_flushed": N}. The shape written by the CLI
+/// `metrics=` key, served at GET /metrics.json, and embedded in bench
+/// records.
 std::string export_json();
+
+/// Seconds since the process-wide obs clock was first pinned (static init
+/// of the obs library) — the uptime figure /healthz reports.
+double process_uptime_seconds();
+
+/// Build/provenance record: {"git_sha": "...", "compiler": "...",
+/// "obs_disabled": bool (whether the obs LIBRARY was compiled with
+/// ODONN_OBS_DISABLE), "obs_detail": bool, "tracing": bool,
+/// "uptime_s": N}. The detail/tracing flags are the live runtime state,
+/// so a scrape shows whether the run it hit had collection switched on.
+std::string build_info_json();
 
 }  // namespace odonn::obs
 

@@ -68,6 +68,48 @@ std::string json_escape(const std::string& raw) {
   return out;
 }
 
+/// One JSON line / spans_json() element for a completed span. request_id
+/// is emitted only when set so pre-existing span consumers see unchanged
+/// lines.
+std::string span_json(const TraceEvent& event) {
+  std::string line = "{\"name\": \"" + json_escape(event.name) +
+                     "\", \"tid\": " + std::to_string(event.tid) +
+                     ", \"depth\": " + std::to_string(event.depth) +
+                     ", \"start_us\": " + std::to_string(event.start_us) +
+                     ", \"duration_us\": " +
+                     std::to_string(event.duration_us);
+  if (event.request_id != 0) {
+    line += ", \"request_id\": " + std::to_string(event.request_id);
+  }
+  line += "}";
+  return line;
+}
+
+/// Shared tail of TraceSpan::finish() and record_span(): stream to the
+/// flush sink (if attached) and append to the bounded buffer, counting
+/// overflow as flushed-with-sink / dropped-without.
+void append_event(TraceEvent event) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.flush_file != nullptr) {
+    // Streaming sink: one JSON line per completed span (same fields as a
+    // spans_json() element), written whole under the state mutex so lines
+    // from concurrent threads never interleave.
+    const std::string line = span_json(event) + "\n";
+    std::fwrite(line.data(), 1, line.size(), s.flush_file);
+    s.flushed.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (s.events.size() >= kMaxTraceEvents) {
+    // With a sink attached the span is already durable on disk, so it is
+    // flushed, not dropped; without one it is lost and counted.
+    if (s.flush_file == nullptr) {
+      s.dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  s.events.push_back(std::move(event));
+}
+
 }  // namespace
 
 bool tracing_enabled() {
@@ -92,6 +134,27 @@ std::uint32_t thread_tag() {
     t_thread_tag = g_next_thread_tag.fetch_add(1, std::memory_order_relaxed);
   }
   return t_thread_tag;
+}
+
+std::int64_t trace_timestamp_us(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(t - epoch())
+      .count();
+}
+
+void record_span(std::string name, std::int64_t start_us,
+                 std::int64_t duration_us, std::uint32_t depth,
+                 std::uint64_t request_id) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::move(name);
+  event.tid = thread_tag();
+  event.depth = depth;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.request_id = request_id;
+  append_event(std::move(event));
 }
 
 std::vector<TraceEvent> trace_events() {
@@ -146,7 +209,11 @@ std::string trace_to_chrome_json() {
         << "\", \"cat\": \"odonn\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
         << e.tid << ", \"ts\": " << e.start_us
         << ", \"dur\": " << e.duration_us << ", \"args\": {\"depth\": "
-        << e.depth << "}}";
+        << e.depth;
+    if (e.request_id != 0) {
+      out << ", \"request_id\": " << e.request_id;
+    }
+    out << "}}";
     first = false;
   }
   out << "]}";
@@ -159,10 +226,7 @@ std::string spans_json() {
   out << "[";
   bool first = true;
   for (const TraceEvent& e : events) {
-    out << (first ? "" : ", ") << "{\"name\": \"" << json_escape(e.name)
-        << "\", \"tid\": " << e.tid << ", \"depth\": " << e.depth
-        << ", \"start_us\": " << e.start_us << ", \"duration_us\": "
-        << e.duration_us << "}";
+    out << (first ? "" : ", ") << span_json(e);
     first = false;
   }
   out << "]";
@@ -189,30 +253,7 @@ void TraceSpan::finish() {
   event.duration_us = end_us - start_us_;
   --t_span_depth;
   active_ = false;
-  TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.flush_file != nullptr) {
-    // Streaming sink: one JSON line per completed span (same fields as a
-    // spans_json() element), written whole under the state mutex so lines
-    // from concurrent threads never interleave.
-    std::string line = "{\"name\": \"" + json_escape(event.name) +
-                       "\", \"tid\": " + std::to_string(event.tid) +
-                       ", \"depth\": " + std::to_string(event.depth) +
-                       ", \"start_us\": " + std::to_string(event.start_us) +
-                       ", \"duration_us\": " +
-                       std::to_string(event.duration_us) + "}\n";
-    std::fwrite(line.data(), 1, line.size(), s.flush_file);
-    s.flushed.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (s.events.size() >= kMaxTraceEvents) {
-    // With a sink attached the span is already durable on disk, so it is
-    // flushed, not dropped; without one it is lost and counted.
-    if (s.flush_file == nullptr) {
-      s.dropped.fetch_add(1, std::memory_order_relaxed);
-    }
-    return;
-  }
-  s.events.push_back(std::move(event));
+  append_event(std::move(event));
 }
 
 }  // namespace odonn::obs

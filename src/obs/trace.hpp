@@ -15,6 +15,7 @@
 // collection never feeds back into computation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,11 @@ struct TraceEvent {
   std::uint32_t depth = 0;  ///< 1 = top-level span on its thread
   std::int64_t start_us = 0;  ///< since the process trace epoch
   std::int64_t duration_us = 0;
+  /// Nonzero links the span to a serve request: the engine emits one
+  /// umbrella "request" span plus queue_wait/batch_wait/compute children,
+  /// all carrying the same id, so the Chrome-trace export groups a
+  /// request's whole latency breakdown under one args.request_id.
+  std::uint64_t request_id = 0;
 };
 
 bool tracing_enabled();
@@ -70,6 +76,21 @@ std::string spans_json();
 /// Small dense tag for the calling thread (0, 1, 2, ... in first-use
 /// order). Also used by the log timestamp prefix.
 std::uint32_t thread_tag();
+
+/// Converts a steady-clock stamp into the trace timebase (microseconds
+/// since the process trace epoch) — how the serve engine turns its
+/// RequestContext stamps into span timestamps.
+std::int64_t trace_timestamp_us(std::chrono::steady_clock::time_point t);
+
+/// Appends one completed span directly (no RAII scope): used for spans
+/// whose start/end were stamped elsewhere, e.g. the per-request
+/// queue_wait/batch_wait/compute attribution intervals reconstructed on
+/// the serve drain thread. No-op while tracing is disabled. The event is
+/// tagged with the calling thread and flows through the same bounded
+/// buffer + flush sink as RAII spans.
+void record_span(std::string name, std::int64_t start_us,
+                 std::int64_t duration_us, std::uint32_t depth,
+                 std::uint64_t request_id = 0);
 
 /// RAII span. The default constructor is inert (used by the disabled-macro
 /// path); the named constructor is inert too when tracing is off.

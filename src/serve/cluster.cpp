@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <utility>
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/stats.hpp"
 
 namespace odonn::serve {
@@ -116,6 +119,7 @@ ServeCluster::ClusterSnapshot ServeCluster::stats() const {
   std::uint64_t batches = 0;
   double batched_samples = 0.0;
   std::vector<double> merged_window;
+  ServeStats::AttributionWindows merged_attr;
   for (const auto& replica : replicas_) {
     const ServeStats::Snapshot s = replica->stats();
     snap.requests += s.requests;
@@ -129,21 +133,74 @@ ServeCluster::ClusterSnapshot ServeCluster::stats() const {
     snap.replica_queue_depth.push_back(depth);
     const std::vector<double> window = replica->latency_window();
     merged_window.insert(merged_window.end(), window.begin(), window.end());
+    const ServeStats::AttributionWindows attr = replica->attribution_window();
+    merged_attr.queue_wait.insert(merged_attr.queue_wait.end(),
+                                  attr.queue_wait.begin(),
+                                  attr.queue_wait.end());
+    merged_attr.batch_wait.insert(merged_attr.batch_wait.end(),
+                                  attr.batch_wait.begin(),
+                                  attr.batch_wait.end());
+    merged_attr.compute.insert(merged_attr.compute.end(),
+                               attr.compute.begin(), attr.compute.end());
   }
   snap.admitted = admitted();
   snap.rejected = rejected();
   if (batches > 0) {
     snap.mean_batch_size = batched_samples / static_cast<double>(batches);
   }
+  const auto summarize = [](const std::vector<double>& window) {
+    ClusterSnapshot::AttributionSummary summary;
+    if (!window.empty()) {
+      summary.p50_ms = percentile_nearest_rank(window, 0.50) * 1e3;
+      summary.p99_ms = percentile_nearest_rank(window, 0.99) * 1e3;
+      summary.p999_ms = percentile_nearest_rank(window, 0.999) * 1e3;
+    }
+    return summary;
+  };
   if (!merged_window.empty()) {
     snap.p50_ms = percentile_nearest_rank(merged_window, 0.50) * 1e3;
     snap.p99_ms = percentile_nearest_rank(merged_window, 0.99) * 1e3;
+    snap.p999_ms = percentile_nearest_rank(merged_window, 0.999) * 1e3;
   }
+  snap.queue_wait = summarize(merged_attr.queue_wait);
+  snap.batch_wait = summarize(merged_attr.batch_wait);
+  snap.compute = summarize(merged_attr.compute);
   return snap;
 }
 
 void ServeCluster::reset_stats() {
   for (auto& replica : replicas_) replica->reset_stats();
+}
+
+std::string cluster_snapshot_json(
+    const ServeCluster::ClusterSnapshot& snap) {
+  using obs::format_double;
+  const auto attr_json =
+      [](const ServeCluster::ClusterSnapshot::AttributionSummary& s) {
+        return "{\"p50_ms\": " + obs::format_double(s.p50_ms) +
+               ", \"p99_ms\": " + obs::format_double(s.p99_ms) +
+               ", \"p999_ms\": " + obs::format_double(s.p999_ms) + "}";
+      };
+  std::ostringstream out;
+  out << "{\"requests\": " << snap.requests << ", \"errors\": " << snap.errors
+      << ", \"admitted\": " << snap.admitted
+      << ", \"rejected\": " << snap.rejected
+      << ", \"queue_depth\": " << snap.queue_depth
+      << ", \"throughput_rps\": " << format_double(snap.throughput_rps)
+      << ", \"mean_batch_size\": " << format_double(snap.mean_batch_size)
+      << ", \"p50_ms\": " << format_double(snap.p50_ms)
+      << ", \"p99_ms\": " << format_double(snap.p99_ms)
+      << ", \"p999_ms\": " << format_double(snap.p999_ms)
+      << ", \"attr\": {\"queue_wait\": " << attr_json(snap.queue_wait)
+      << ", \"batch_wait\": " << attr_json(snap.batch_wait)
+      << ", \"compute\": " << attr_json(snap.compute) << "}"
+      << ", \"replicas\": " << snap.replicas.size()
+      << ", \"replica_queue_depth\": [";
+  for (std::size_t i = 0; i < snap.replica_queue_depth.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << snap.replica_queue_depth[i];
+  }
+  out << "]}";
+  return out.str();
 }
 
 }  // namespace odonn::serve

@@ -110,6 +110,18 @@ class ServeCluster {
     /// per-replica quantiles).
     double p50_ms = 0.0;
     double p99_ms = 0.0;
+    double p999_ms = 0.0;
+    /// Percentiles of one latency-attribution component, computed the same
+    /// way as the cluster latency percentiles (nearest-rank over the
+    /// concatenated replica attribution windows).
+    struct AttributionSummary {
+      double p50_ms = 0.0;
+      double p99_ms = 0.0;
+      double p999_ms = 0.0;
+    };
+    AttributionSummary queue_wait;  ///< submit -> dequeued
+    AttributionSummary batch_wait;  ///< dequeued -> kernel launch
+    AttributionSummary compute;     ///< kernel launch -> done
     std::vector<ServeStats::Snapshot> replicas;
     std::vector<std::size_t> replica_queue_depth;
   };
@@ -129,5 +141,15 @@ class ServeCluster {
   ClusterOptions options_;
   std::vector<std::unique_ptr<InferenceEngine>> replicas_;
 };
+
+/// Canonical JSON rendering of a ClusterSnapshot: one object with the
+/// cluster aggregates, the latency percentiles, an "attr" sub-object
+/// holding the queue_wait / batch_wait / compute percentile summaries,
+/// and the per-replica queue depths. This exact string is what the HTTP
+/// plane serves at GET /snapshot and what `snapshot_file=` appends one
+/// line of per interval (tests assert the equality). Numbers use
+/// obs::format_double (shortest round-trip), so bodies are byte-stable
+/// for identical snapshots.
+std::string cluster_snapshot_json(const ServeCluster::ClusterSnapshot& snap);
 
 }  // namespace odonn::serve

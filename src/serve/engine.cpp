@@ -9,6 +9,15 @@
 
 namespace odonn::serve {
 
+namespace {
+
+/// Process-wide request id source. Starts at 1 so an id of 0 always means
+/// "never served" (span exports key off nonzero ids); shared across every
+/// engine so cluster replicas never collide.
+std::atomic<std::uint64_t> g_next_request_id{1};
+
+}  // namespace
+
 InferenceEngine::InferenceEngine(std::shared_ptr<ModelRegistry> registry,
                                  EngineOptions options)
     : registry_(std::move(registry)), options_(std::move(options)) {
@@ -46,6 +55,7 @@ std::future<PredictResult> InferenceEngine::submit(
   Request request;
   request.model = model_name;
   request.input = std::move(input);
+  request.id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
   request.enqueued = ServeStats::Clock::now();
   std::future<PredictResult> future = request.promise.get_future();
   {
@@ -133,6 +143,12 @@ void InferenceEngine::drain_loop() {
     // Slots freed: wake submitters parked on Backpressure::Block.
     space_cv_.notify_all();
 
+    // One dequeue stamp for the whole batch: every member left the queue
+    // at the same drain, and a single clock read keeps attribution cheap.
+    // Taken BEFORE on_batch_start so hook time lands in batch_wait.
+    const ServeStats::Clock::time_point dequeued = ServeStats::Clock::now();
+    for (Request& request : batch) request.dequeued = dequeued;
+
     if (options_.on_batch_start) options_.on_batch_start(batch.size());
 
     // Group by model, preserving submission order within each group.
@@ -208,6 +224,7 @@ void InferenceEngine::run_group(const std::string& model_name,
   inputs.reserve(group.size());
   for (Request* request : group) inputs.push_back(std::move(request->input));
 
+  const ServeStats::Clock::time_point kernel_start = ServeStats::Clock::now();
   BatchedForward::Result result;
   try {
     result = forward.run(inputs);
@@ -221,18 +238,53 @@ void InferenceEngine::run_group(const std::string& model_name,
     labelled_.batch_size->observe(static_cast<double>(group.size()));
   }
   const ServeStats::Clock::time_point done = ServeStats::Clock::now();
+  const auto seconds = [](ServeStats::Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  };
+  const auto micros = [](ServeStats::Clock::duration d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  };
+  const bool tracing = obs::tracing_enabled();
   for (std::size_t i = 0; i < group.size(); ++i) {
+    Request& request = *group[i];
     PredictResult prediction;
     prediction.predicted = result.predictions[i];
     prediction.detector_sums = std::move(result.detector_sums[i]);
-    const double latency =
-        std::chrono::duration<double>(done - group[i]->enqueued).count();
-    stats_.record_request(latency);
+    // All four figures come from the same stamps, so the components sum
+    // to the total up to per-component FP rounding.
+    Attribution attr;
+    attr.queue_wait_s = seconds(request.dequeued - request.enqueued);
+    attr.batch_wait_s = seconds(kernel_start - request.dequeued);
+    attr.compute_s = seconds(done - kernel_start);
+    const double latency = seconds(done - request.enqueued);
+    prediction.latency.request_id = request.id;
+    prediction.latency.queue_wait_s = attr.queue_wait_s;
+    prediction.latency.batch_wait_s = attr.batch_wait_s;
+    prediction.latency.compute_s = attr.compute_s;
+    prediction.latency.total_s = latency;
+    stats_.record_request(latency, attr);
     if (labelled_.requests != nullptr) labelled_.requests->add(1);
     if (labelled_.latency_ms != nullptr) {
       labelled_.latency_ms->observe(latency * 1e3);
     }
-    group[i]->promise.set_value(std::move(prediction));
+    if (tracing) {
+      // Four spans linked by request_id: the request envelope plus one
+      // child per attribution component, so a Chrome-trace viewer shows
+      // exactly where each request's latency went.
+      const std::int64_t t_enq = obs::trace_timestamp_us(request.enqueued);
+      const std::int64_t t_deq = obs::trace_timestamp_us(request.dequeued);
+      const std::int64_t t_kernel = obs::trace_timestamp_us(kernel_start);
+      obs::record_span("request", t_enq, micros(done - request.enqueued), 1,
+                       request.id);
+      obs::record_span("request/queue_wait", t_enq,
+                       micros(request.dequeued - request.enqueued), 2,
+                       request.id);
+      obs::record_span("request/batch_wait", t_deq,
+                       micros(kernel_start - request.dequeued), 2, request.id);
+      obs::record_span("request/compute", t_kernel, micros(done - kernel_start),
+                       2, request.id);
+    }
+    request.promise.set_value(std::move(prediction));
   }
 }
 

@@ -101,9 +101,25 @@ struct EngineOptions {
   std::function<void(std::size_t)> on_batch_start;
 };
 
+/// Where a completed request's end-to-end latency went. All four figures
+/// derive from one set of monotonic stamps taken as the request moved
+/// through the engine (submit -> dequeue -> kernel launch -> done), so
+/// queue_wait + batch_wait + compute equals total up to FP rounding of
+/// the per-component conversions.
+struct LatencyBreakdown {
+  std::uint64_t request_id = 0;  ///< process-unique id, nonzero once served
+  double queue_wait_s = 0.0;     ///< submit -> taken off the admission queue
+  double batch_wait_s = 0.0;     ///< dequeue -> kernel launch (batch
+                                 ///< formation, incl. the on_batch_start
+                                 ///< hook)
+  double compute_s = 0.0;        ///< kernel launch -> results ready
+  double total_s = 0.0;          ///< submit -> response ready
+};
+
 struct PredictResult {
   std::size_t predicted = 0;            ///< argmax class
   std::vector<double> detector_sums;    ///< raw per-class intensity sums
+  LatencyBreakdown latency;             ///< per-request attribution
 };
 
 class InferenceEngine {
@@ -148,6 +164,13 @@ class InferenceEngine {
     return stats_.latency_window();
   }
 
+  /// Retained attribution windows (seconds) — see
+  /// ServeStats::attribution_window. Concatenated across replicas for the
+  /// cluster-level attribution percentiles.
+  ServeStats::AttributionWindows attribution_window() const {
+    return stats_.attribution_window();
+  }
+
   /// Clears counters and the latency window (e.g. between a warm-up phase
   /// and a measured run). In-flight requests keep completing normally.
   void reset_stats();
@@ -157,7 +180,9 @@ class InferenceEngine {
     std::string model;
     optics::Field input;
     std::promise<PredictResult> promise;
+    std::uint64_t id = 0;  ///< process-unique (shared across replicas)
     ServeStats::Clock::time_point enqueued;
+    ServeStats::Clock::time_point dequeued;  ///< stamped once per batch
   };
 
   /// Per-replica labelled instruments (null when options_.label is empty

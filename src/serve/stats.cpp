@@ -25,16 +25,26 @@ double percentile(std::vector<double>& values, double q) {
 
 }  // namespace
 
-void ServeStats::record_request(double latency_seconds) {
+void ServeStats::record_request(double latency_seconds,
+                                const Attribution& attr) {
   ODONN_OBS_COUNT("serve.requests", 1);
   ODONN_OBS_HIST("serve.latency_ms", latency_seconds * 1e3);
+  ODONN_OBS_HIST("serve.attr.queue_wait_ms", attr.queue_wait_s * 1e3);
+  ODONN_OBS_HIST("serve.attr.batch_wait_ms", attr.batch_wait_s * 1e3);
+  ODONN_OBS_HIST("serve.attr.compute_ms", attr.compute_s * 1e3);
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
   ++requests_;
   if (window_.size() < kWindowCapacity) {
     window_.push_back(latency_seconds);
+    queue_wait_window_.push_back(attr.queue_wait_s);
+    batch_wait_window_.push_back(attr.batch_wait_s);
+    compute_window_.push_back(attr.compute_s);
   } else {
     window_[next_] = latency_seconds;
+    queue_wait_window_[next_] = attr.queue_wait_s;
+    batch_wait_window_[next_] = attr.batch_wait_s;
+    compute_window_[next_] = attr.compute_s;
     next_ = (next_ + 1) % kWindowCapacity;
   }
   max_latency_ = std::max(max_latency_, latency_seconds);
@@ -88,6 +98,7 @@ ServeStats::Snapshot ServeStats::snapshot() const {
   snap.p50_ms = percentile(window, 0.50) * 1e3;
   snap.p90_ms = percentile(window, 0.90) * 1e3;
   snap.p99_ms = percentile(window, 0.99) * 1e3;
+  snap.p999_ms = percentile(window, 0.999) * 1e3;
   if (snap.window_seconds > 0.0) {
     snap.throughput_rps =
         static_cast<double>(snap.requests) / snap.window_seconds;
@@ -100,9 +111,18 @@ std::vector<double> ServeStats::latency_window() const {
   return window_;
 }
 
+ServeStats::AttributionWindows ServeStats::attribution_window() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AttributionWindows{queue_wait_window_, batch_wait_window_,
+                            compute_window_};
+}
+
 void ServeStats::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   window_.clear();
+  queue_wait_window_.clear();
+  batch_wait_window_.clear();
+  compute_window_.clear();
   next_ = 0;
   requests_ = batches_ = batched_samples_ = errors_ = 0;
   max_latency_ = 0.0;

@@ -26,6 +26,18 @@
 
 namespace odonn::serve {
 
+/// Per-request latency attribution: where a request's end-to-end latency
+/// went. queue_wait covers submit -> taken off the admission queue,
+/// batch_wait covers batch formation (dequeue -> kernel launch for the
+/// request's model group), compute covers the kernel itself. The three
+/// components are stamped from one monotonic RequestContext, so they sum
+/// to the end-to-end latency up to FP rounding of the conversions.
+struct Attribution {
+  double queue_wait_s = 0.0;
+  double batch_wait_s = 0.0;
+  double compute_s = 0.0;
+};
+
 class ServeStats {
  public:
   using Clock = std::chrono::steady_clock;
@@ -38,6 +50,7 @@ class ServeStats {
     double p50_ms = 0.0;
     double p90_ms = 0.0;
     double p99_ms = 0.0;
+    double p999_ms = 0.0;
     double max_ms = 0.0;
     /// First-to-last completion span; the slowest request's latency when
     /// that span collapses to zero (single-request fallback).
@@ -45,8 +58,10 @@ class ServeStats {
     double throughput_rps = 0.0;     ///< requests / window_seconds
   };
 
-  /// Records one completed request with its submit->done latency.
-  void record_request(double latency_seconds);
+  /// Records one completed request with its submit->done latency and the
+  /// attribution breakdown (also mirrored into the serve.attr.* obs
+  /// histograms).
+  void record_request(double latency_seconds, const Attribution& attr = {});
 
   /// Records one drained batch of `size` samples.
   void record_batch(std::size_t size);
@@ -61,7 +76,18 @@ class ServeStats {
   /// percentiles.
   std::vector<double> latency_window() const;
 
-  /// Clears all counters and the latency window.
+  /// Retained attribution windows (seconds, unordered), rings sharing the
+  /// latency window's cursor: index k of each vector belongs to the same
+  /// request as latency_window()[k]. Concatenated across replicas for the
+  /// cluster-level attribution percentiles.
+  struct AttributionWindows {
+    std::vector<double> queue_wait;
+    std::vector<double> batch_wait;
+    std::vector<double> compute;
+  };
+  AttributionWindows attribution_window() const;
+
+  /// Clears all counters and the latency/attribution windows.
   void reset();
 
  private:
@@ -69,7 +95,10 @@ class ServeStats {
 
   mutable std::mutex mutex_;
   std::vector<double> window_;   ///< ring of latency seconds
-  std::size_t next_ = 0;         ///< ring write cursor
+  std::vector<double> queue_wait_window_;
+  std::vector<double> batch_wait_window_;
+  std::vector<double> compute_window_;
+  std::size_t next_ = 0;         ///< ring write cursor (all four rings)
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_samples_ = 0;

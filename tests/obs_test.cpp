@@ -352,10 +352,118 @@ TEST(ObsDisabled, MacrosEvaluateNothingAndRegisterNothing) {
 
 TEST(ExportJson, CombinedShape) {
   const std::string combined = obs::export_json();
+  EXPECT_NE(combined.find("\"build\""), std::string::npos);
   EXPECT_NE(combined.find("\"metrics\""), std::string::npos);
   EXPECT_NE(combined.find("\"spans\""), std::string::npos);
   EXPECT_NE(combined.find("\"trace_dropped\""), std::string::npos);
   EXPECT_NE(combined.find("\"trace_flushed\""), std::string::npos);
+}
+
+TEST(Histogram, P999MatchesNearestRankRule) {
+  // p999 uses the same repo-wide nearest-rank rule as p50/p90/p99 and
+  // flows into both exporters.
+  obs::Histogram h;
+  std::vector<double> values;
+  for (int i = 0; i < 700; ++i) {
+    const double v = static_cast<double>((i * 53) % 700) * 0.25;
+    h.observe(v);
+    values.push_back(v);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.p999, percentile_nearest_rank(values, 0.999));
+  EXPECT_GE(snap.p999, snap.p99);
+}
+
+TEST(MetricsRegistry, TextExporterEmitsHelpAndP999Quantile) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("test.help.counter").reset();
+  registry.counter("test.help.counter").add(1);
+  auto& hist = registry.histogram("test.help.hist");
+  hist.reset();
+  for (int i = 1; i <= 9; ++i) hist.observe(static_cast<double>(i));
+  const std::string text = registry.to_text();
+  // Every family gets a HELP line naming the dotted source metric,
+  // immediately followed by its TYPE line.
+  EXPECT_NE(
+      text.find("# HELP odonn_test_help_counter odonn metric "
+                "'test.help.counter'\n# TYPE odonn_test_help_counter counter"),
+      std::string::npos);
+  EXPECT_NE(text.find("# HELP odonn_test_help_hist odonn metric "
+                      "'test.help.hist'\n# TYPE odonn_test_help_hist summary"),
+            std::string::npos);
+  // Histograms carry the p999 quantile alongside 0.5/0.9/0.99.
+  EXPECT_NE(text.find("odonn_test_help_hist{quantile=\"0.99\"} 9"),
+            std::string::npos);
+  EXPECT_NE(text.find("odonn_test_help_hist{quantile=\"0.999\"} 9"),
+            std::string::npos);
+  // The serve attribution schema is pre-registered and renders sanitized.
+  EXPECT_NE(text.find("# TYPE odonn_serve_attr_queue_wait_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE odonn_serve_attr_batch_wait_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE odonn_serve_attr_compute_ms summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE odonn_obs_http_requests counter"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExporterCarriesP999) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& hist = registry.histogram("test.p999.hist");
+  hist.reset();
+  for (int i = 1; i <= 4; ++i) hist.observe(static_cast<double>(i));
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p999\": 4"), std::string::npos);
+}
+
+TEST(BuildInfo, ReportsProvenanceAndUptime) {
+  const std::string info = obs::build_info_json();
+  EXPECT_NE(info.find("\"git_sha\": \""), std::string::npos);
+  EXPECT_NE(info.find("\"compiler\": \""), std::string::npos);
+  // This TU builds WITHOUT ODONN_OBS_DISABLE (the disabled helper proves
+  // the other mode), and the flags reflect live runtime state.
+  EXPECT_NE(info.find("\"obs_disabled\": false"), std::string::npos);
+  EXPECT_NE(info.find("\"obs_detail\": "), std::string::npos);
+  EXPECT_NE(info.find("\"tracing\": "), std::string::npos);
+  EXPECT_NE(info.find("\"uptime_s\": "), std::string::npos);
+  EXPECT_GT(obs::process_uptime_seconds(), 0.0);
+  // Uptime is monotone.
+  const double first = obs::process_uptime_seconds();
+  EXPECT_GE(obs::process_uptime_seconds(), first);
+}
+
+TEST(Trace, RecordSpanCarriesRequestIdThroughExports) {
+  obs::set_tracing(true);
+  obs::clear_trace();
+  obs::record_span("attr.request", 100, 50, 1, 77);
+  obs::record_span("attr.anonymous", 200, 10, 2);  // request_id 0
+  obs::set_tracing(false);
+
+  const auto events = obs::trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].request_id, 77u);
+  EXPECT_EQ(events[0].start_us, 100);
+  EXPECT_EQ(events[0].duration_us, 50);
+  EXPECT_EQ(events[1].request_id, 0u);
+
+  // request_id is emitted only when nonzero, in both span exports.
+  const std::string spans = obs::spans_json();
+  EXPECT_NE(spans.find("\"name\": \"attr.request\", \"tid\": "),
+            std::string::npos);
+  EXPECT_NE(spans.find("\"request_id\": 77"), std::string::npos);
+  const std::size_t anon = spans.find("attr.anonymous");
+  ASSERT_NE(anon, std::string::npos);
+  EXPECT_EQ(spans.find("\"request_id\"", anon), std::string::npos);
+  const std::string chrome = obs::trace_to_chrome_json();
+  EXPECT_NE(chrome.find("\"request_id\": 77"), std::string::npos);
+  obs::clear_trace();
+}
+
+TEST(Trace, RecordSpanInertWhileDisabled) {
+  obs::set_tracing(false);
+  obs::clear_trace();
+  obs::record_span("never.recorded", 0, 1, 1, 5);
+  EXPECT_TRUE(obs::trace_events().empty());
 }
 
 }  // namespace

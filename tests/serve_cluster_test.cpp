@@ -19,6 +19,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "donn/model.hpp"
+#include "obs/http_server.hpp"
 #include "obs/obs.hpp"
 #include "optics/encode.hpp"
 #include "serve/cluster.hpp"
@@ -405,6 +406,151 @@ TEST(Cluster, RegistersPerReplicaLabelledInstruments) {
   EXPECT_NE(metrics.to_text().find("odonn_serve_replica0_queue_depth"),
             std::string::npos);
 #endif
+}
+
+TEST(Attribution, ComponentsSumToEndToEndLatency) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 301));
+  const auto inputs = random_inputs(cfg.grid, 2, 302);
+
+  BatchGate gate;
+  EngineOptions options;
+  options.continuous = true;
+  options.on_batch_start = gate.hook();
+  InferenceEngine engine(registry, options);
+
+  // Request 0 forms batch 1 and freezes at the gate: the hold time is
+  // batch-formation latency (dequeue happened, kernel has not run), so it
+  // must land in r0's batch_wait. Request 1 arrives while batch 1 is held,
+  // so the same hold shows up as r1's queue_wait.
+  auto first = engine.submit("m", inputs[0]);
+  gate.await_batches(1);
+  auto second = engine.submit("m", inputs[1]);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.release();
+
+  const PredictResult r0 = first.get();
+  const PredictResult r1 = second.get();
+
+  // The components and the total derive from the same four monotonic
+  // stamps, so the sum identity holds to FP rounding, not just "roughly".
+  for (const PredictResult* r : {&r0, &r1}) {
+    EXPECT_GT(r->latency.request_id, 0u);
+    EXPECT_GE(r->latency.queue_wait_s, 0.0);
+    EXPECT_GE(r->latency.batch_wait_s, 0.0);
+    EXPECT_GT(r->latency.compute_s, 0.0);
+    EXPECT_NEAR(r->latency.queue_wait_s + r->latency.batch_wait_s +
+                    r->latency.compute_s,
+                r->latency.total_s, 1e-9);
+  }
+  EXPECT_NE(r0.latency.request_id, r1.latency.request_id);
+  // The deterministic 30ms gate hold is attributed where it belongs.
+  EXPECT_GE(r0.latency.batch_wait_s, 0.025);
+  EXPECT_LT(r0.latency.queue_wait_s, 0.025);
+  EXPECT_GE(r1.latency.queue_wait_s, 0.025);
+
+  // The attribution windows ride the same ring as the latency window.
+  const ServeStats::AttributionWindows windows = engine.attribution_window();
+  EXPECT_EQ(windows.queue_wait.size(), 2u);
+  EXPECT_EQ(windows.batch_wait.size(), 2u);
+  EXPECT_EQ(windows.compute.size(), 2u);
+  EXPECT_EQ(engine.latency_window().size(), 2u);
+}
+
+TEST(Attribution, RequestIdsUniqueAndNonzeroAcrossReplicas) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 311));
+  const auto inputs = random_inputs(cfg.grid, 24, 312);
+
+  ClusterOptions options;
+  options.replicas = 3;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  std::vector<std::uint64_t> ids;
+  for (auto& future : futures) {
+    const PredictResult result = future.get();
+    EXPECT_GT(result.latency.total_s, 0.0);
+    ids.push_back(result.latency.request_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_GT(ids.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end())
+      << "request ids must be unique across replicas";
+}
+
+TEST(Attribution, ClusterSnapshotCarriesAttributionPercentiles) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 321));
+  const auto inputs = random_inputs(cfg.grid, 16, 322);
+
+  ClusterOptions options;
+  options.replicas = 2;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  for (auto& future : futures) future.get();
+
+  const auto snap = cluster.stats();
+  // End-to-end percentiles now include p999, ordered with the others.
+  EXPECT_GE(snap.p99_ms, snap.p50_ms);
+  EXPECT_GE(snap.p999_ms, snap.p99_ms);
+  // Compute is real work, so its percentiles must be positive; waits are
+  // merely non-negative (an idle engine dequeues immediately).
+  EXPECT_GT(snap.compute.p50_ms, 0.0);
+  EXPECT_GE(snap.compute.p999_ms, snap.compute.p99_ms);
+  EXPECT_GE(snap.queue_wait.p50_ms, 0.0);
+  EXPECT_GE(snap.batch_wait.p50_ms, 0.0);
+  // Attribution never exceeds the end-to-end envelope.
+  EXPECT_LE(snap.compute.p50_ms, snap.p999_ms);
+}
+
+TEST(Cluster, SnapshotJsonMatchesLiveHttpSnapshotRoute) {
+  auto registry = std::make_shared<ModelRegistry>();
+  const donn::DonnConfig cfg = tiny_config(16, 2);
+  registry->add("m", make_model(cfg, 331));
+  const auto inputs = random_inputs(cfg.grid, 12, 332);
+
+  ClusterOptions options;
+  options.replicas = 2;
+  ServeCluster cluster(registry, options);
+  std::vector<std::future<PredictResult>> futures;
+  for (const auto& input : inputs) {
+    futures.push_back(cluster.submit("m", input));
+  }
+  for (auto& future : futures) future.get();
+
+  // Same wiring as the CLI serve command: /snapshot renders
+  // cluster_snapshot_json(cluster.stats()).
+  obs::HttpServer server;
+  server.handle("/snapshot", [&cluster](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = cluster_snapshot_json(cluster.stats());
+    return response;
+  });
+  server.start();
+  const auto scraped =
+      obs::http_get("127.0.0.1", server.port(), "/snapshot");
+  ASSERT_TRUE(scraped.ok) << scraped.error;
+  EXPECT_EQ(scraped.status, 200);
+
+  // Traffic has fully drained, so stats() is stable: the scraped body must
+  // equal a local render byte for byte (same percentiles, same formatter).
+  const std::string local = cluster_snapshot_json(cluster.stats());
+  EXPECT_EQ(scraped.body, local);
+  EXPECT_NE(local.find("\"requests\": 12"), std::string::npos);
+  EXPECT_NE(local.find("\"attr\": {\"queue_wait\": {\"p50_ms\": "),
+            std::string::npos);
+  EXPECT_NE(local.find("\"p999_ms\": "), std::string::npos);
+  EXPECT_NE(local.find("\"replica_queue_depth\": [0, 0]"), std::string::npos);
 }
 
 TEST(Cluster, RejectsLabelledEngineTemplateAndZeroReplicas) {

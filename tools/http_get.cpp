@@ -1,0 +1,37 @@
+// http_get — minimal scrape client for the odonn observability plane.
+//
+//   http_get <host> <port> <path> [timeout_ms]
+//
+// Prints the response body to stdout. Exit status: 0 on HTTP 200, 2 on any
+// other HTTP status (body still printed), 1 on transport failure or bad
+// usage (error on stderr). scripts/check.sh uses this instead of curl so
+// the HTTP smoke works in containers without one.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/http_server.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 4 || argc > 5) {
+    std::fprintf(stderr, "usage: http_get <host> <port> <path> [timeout_ms]\n");
+    return 1;
+  }
+  const std::string host = argv[1];
+  const int port = std::atoi(argv[2]);
+  const std::string path = argv[3];
+  const int timeout_ms = argc == 5 ? std::atoi(argv[4]) : 5000;
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "http_get: invalid port '%s'\n", argv[2]);
+    return 1;
+  }
+
+  const odonn::obs::HttpGetResult result = odonn::obs::http_get(
+      host, static_cast<std::uint16_t>(port), path, timeout_ms);
+  if (!result.ok) {
+    std::fprintf(stderr, "http_get: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::fwrite(result.body.data(), 1, result.body.size(), stdout);
+  return result.status == 200 ? 0 : 2;
+}
