@@ -30,7 +30,8 @@ const char* scale_name(Scale scale) {
 }
 
 std::vector<std::string> bench_config_keys() {
-  return {"bench.scale", "grid", "samples", "seed", "format"};
+  return {"bench.scale", "grid", "samples", "layers", "detector", "seed",
+          "format"};
 }
 
 std::vector<std::string> parallel_bench_config_keys() {
@@ -68,6 +69,13 @@ BenchConfig make_bench_config(const Config& cfg) {
   bc.grid = static_cast<std::size_t>(cfg.get_int("grid", static_cast<long>(bc.grid)));
   bc.samples = static_cast<std::size_t>(
       cfg.get_int("samples", static_cast<long>(bc.samples)));
+  const long layers = cfg.get_int("layers", static_cast<long>(bc.layers));
+  if (layers < 1 || layers > 64) {
+    throw ConfigError("layers must be in [1, 64]");
+  }
+  bc.layers = static_cast<std::size_t>(layers);
+  bc.detector = donn::parse_detector_mode(
+      cfg.get_enum("detector", "standard", {"standard", "differential"}));
   bc.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
   const long jobs = cfg.get_int("jobs", 1);
   if (jobs < 1 || jobs > 64) {
@@ -87,6 +95,8 @@ train::RecipeOptions recipe_options(const BenchConfig& cfg,
                                     std::size_t paper_block) {
   train::RecipeOptions opt;
   opt.model = donn::DonnConfig::scaled(cfg.grid);
+  opt.model.num_layers = cfg.layers;
+  opt.model.detector = cfg.detector;
   opt.epochs_dense = cfg.epochs_dense;
   opt.epochs_sparse = cfg.epochs_sparse;
   opt.epochs_finetune = cfg.epochs_finetune;
@@ -263,9 +273,11 @@ int table_shape_checks(const std::vector<train::RecipeResult>& rows,
 void print_table_text(const TableSpec& spec, const BenchConfig& cfg,
                       const std::vector<train::RecipeResult>& rows) {
   std::printf("=== %s ===\n", spec.title);
-  std::printf("scale=%s grid=%zu samples=%zu epochs=%zu+%zu+%zu block=%zu "
+  std::printf("scale=%s grid=%zu samples=%zu layers=%zu detector=%s "
+              "epochs=%zu+%zu+%zu block=%zu "
               "(paper block %zu on 200) sparsity=0.1 seed=%llu jobs=%zu\n",
-              scale_name(cfg.scale), cfg.grid, cfg.samples, cfg.epochs_dense,
+              scale_name(cfg.scale), cfg.grid, cfg.samples, cfg.layers,
+              donn::detector_mode_name(cfg.detector), cfg.epochs_dense,
               cfg.epochs_sparse, cfg.epochs_finetune,
               cfg.scaled_block(spec.paper_block), spec.paper_block,
               static_cast<unsigned long long>(cfg.seed), cfg.jobs);
@@ -300,12 +312,15 @@ void print_table_json(const TableSpec& spec, const BenchConfig& cfg,
   // bits: scripts/check.sh compares them across ODONN_THREADS=1 vs 4 and
   // across jobs=1 vs 4 (the parallel-executor determinism contract).
   std::printf("{\"bench\": %s, \"scale\": %s, \"grid\": %zu, "
-              "\"samples\": %zu, \"seed\": %llu, \"block\": %zu, "
+              "\"samples\": %zu, \"layers\": %zu, \"detector\": %s, "
+              "\"seed\": %llu, \"block\": %zu, "
               "\"jobs\": %zu, \"wall_seconds\": %s, "
               "\"failures\": %d,\n",
               json_quote(spec.id).c_str(),
               json_quote(scale_name(cfg.scale)).c_str(), cfg.grid,
-              cfg.samples, static_cast<unsigned long long>(cfg.seed),
+              cfg.samples, cfg.layers,
+              json_quote(donn::detector_mode_name(cfg.detector)).c_str(),
+              static_cast<unsigned long long>(cfg.seed),
               cfg.scaled_block(spec.paper_block), cfg.jobs,
               json_number(wall_seconds).c_str(), failures);
   // Metrics snapshot block: the process-wide registry as of this record

@@ -33,6 +33,11 @@ struct BenchConfig {
   std::size_t epochs_finetune = 1;
   std::size_t batch = 100;
   std::size_t two_pi_iterations = 2500;
+  /// Diffractive layers in the stack (defaults to the model default, 3;
+  /// layers=5 selects the five-layer recipe axis) and the detector readout
+  /// strategy ({1,5} x {standard, differential} are the scenario cells).
+  std::size_t layers = donn::DonnConfig{}.num_layers;
+  donn::DetectorMode detector = donn::DetectorMode::Standard;
   std::uint64_t seed = 7;
   /// Concurrent recipes per table/sweep (train::TableRunOptions::jobs).
   /// Rows are bitwise independent of this — it only moves wall-clock.
@@ -42,7 +47,8 @@ struct BenchConfig {
   std::size_t scaled_block(std::size_t paper_block) const;
 };
 
-/// Reads bench.scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples=, jobs=.
+/// Reads bench.scale= (or ODONN_BENCH_SCALE), seed=, grid=, samples=,
+/// layers=, detector=, jobs=.
 BenchConfig make_bench_config(const Config& cfg);
 
 /// from_args + strict key validation (bench_config_keys) + the above.

@@ -167,6 +167,9 @@ void print_usage() {
       "usage: odonn_cli <run|table|serve|robust> [key=value ...]\n"
       "  run    pipeline=data,train,sparsify,smooth,eval | recipe=ours-c[,..]\n"
       "         dataset=mnist grid=48 samples=1200 epochs=3 seed=7\n"
+      "         layers=N detector=standard|differential (stack depth and\n"
+      "         readout strategy; differential scores each class by a +/-\n"
+      "         detector-region pair)\n"
       "         data_dir=DIR sweep=0.25,0.5,0.75 checkpoint_dir=DIR\n"
       "         resume=0|1 publish_name=NAME publish_dir=DIR\n"
       "         robust_train=0|1 train_realizations=2 antithetic=0|1\n"
@@ -174,10 +177,11 @@ void print_usage() {
       "         train_warmup=-1 train_lr_scale=0.1 train_crosstalk=0|1\n"
       "         perturb=SPEC format=text|json|both\n"
       "  table  dataset=mnist|fmnist|kmnist|emnist|all bench.scale=smoke|\n"
-      "         default|paper grid= samples= seed= jobs=N format=\n"
-      "         (jobs= runs N recipes concurrently; rows are bitwise\n"
+      "         default|paper grid= samples= layers= detector= seed= jobs=N\n"
+      "         format= (jobs= runs N recipes concurrently; rows are bitwise\n"
       "         identical to jobs=1 for any ODONN_THREADS)\n"
-      "  serve  model=PATH[,PATH...] action=bench|list grid=32 samples=256\n"
+      "  serve  model=PATH[,PATH...] action=bench|list grid=32 layers=\n"
+      "         detector= samples=256\n"
       "         batch=64 seed=7 snapshot_s=0.5 format=text|json|both\n"
       "         replicas=1 routing=least-loaded|hash queue_depth=65536\n"
       "         backpressure=reject|block continuous=0|1 (default 1: admit\n"
@@ -195,7 +199,8 @@ void print_usage() {
       "+misalign(sigma_px=0.25)'\n"
       "         realizations=32 yield_threshold=0.5 antithetic=0|1\n"
       "         robust_train=0|1 train_realizations=2 threads=N dataset=mnist\n"
-      "         data_dir=DIR grid=32 samples=800 epochs=2 seed=7 format=\n");
+      "         data_dir=DIR grid=32 layers= detector= samples=800 epochs=2\n"
+      "         seed=7 format=\n");
 }
 
 // ------------------------------------------------------------------- run
@@ -432,10 +437,11 @@ int cmd_table(const Config& cfg) {
 // ----------------------------------------------------------------- serve
 
 int cmd_serve(const Config& cfg) {
-  cfg.strict({"model", "grid", "samples", "batch", "seed", "format",
-              "action", "metrics", "trace", "trace_stream", "snapshot_s",
-              "snapshot_file", "replicas", "routing", "queue_depth",
-              "backpressure", "continuous", "http_port", "http_wait_s"});
+  cfg.strict({"model", "grid", "layers", "detector", "samples", "batch",
+              "seed", "format", "action", "metrics", "trace", "trace_stream",
+              "snapshot_s", "snapshot_file", "replicas", "routing",
+              "queue_depth", "backpressure", "continuous", "http_port",
+              "http_wait_s"});
   const auto format = bench::parse_format(cfg);
   const bool print_text = format != bench::OutputFormat::Json;
   const std::string action =
@@ -485,9 +491,18 @@ int cmd_serve(const Config& cfg) {
     }
   } else {
     // No checkpoints given: serve a fresh (untrained) scaled model so the
-    // command still demonstrates the registry -> engine path.
+    // command still demonstrates the registry -> engine path. layers= and
+    // detector= pick the stack depth / readout strategy of that model.
     const std::size_t grid = static_cast<std::size_t>(cfg.get_int("grid", 32));
     donn::DonnConfig config = donn::DonnConfig::scaled(grid);
+    const long layers =
+        cfg.get_int("layers", static_cast<long>(config.num_layers));
+    if (layers < 1 || layers > 64) {
+      throw ConfigError("serve: layers must be in [1, 64]");
+    }
+    config.num_layers = static_cast<std::size_t>(layers);
+    config.detector = donn::parse_detector_mode(
+        cfg.get_enum("detector", "standard", {"standard", "differential"}));
     config.init = donn::PhaseInit::Uniform;
     Rng rng(seed);
     registry->add("default", donn::DonnModel(config, rng));

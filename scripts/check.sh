@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, ctest, plus smokes of the Monte-Carlo
 # robustness CLI, robust training, the parallel table executor (with
-# cross-thread-count and cross-jobs digest compares), the observability
+# cross-thread-count and cross-jobs digest compares, repeated for the
+# 5-layer differential-readout cell), the layer-scaling A/B bench, the
+# observability
 # exports (metrics-on rows bitwise identical to plain), the serve
 # cluster (cluster-vs-single-engine prediction digest equality across
 # ODONN_THREADS), and the observability HTTP plane (scrape a live serve
@@ -100,6 +102,48 @@ if [ "$r41" != "$r44" ]; then
   exit 1
 fi
 echo "table smoke: jobs=1 vs jobs=4 rows identical"
+
+# Multi-layer / detector-strategy smoke: the 5-layer differential-readout
+# cell (the farthest point of the recipe grid from the defaults) must
+# uphold the same contract — bitwise-identical rows across ODONN_THREADS=1
+# vs 4 AND jobs=1 vs 4.
+ml_table_smoke() {  # $1=threads $2=jobs
+  ODONN_THREADS="$1" ./odonn_cli table bench.scale=smoke layers=5 \
+    detector=differential jobs="$2" format=json ||
+    { echo "ml table smoke: odonn_cli table failed (threads=$1 jobs=$2)" >&2
+      exit 1; }
+}
+m11="$(ml_table_smoke 1 1)"
+m41="$(ml_table_smoke 4 1)"
+m44="$(ml_table_smoke 4 4)"
+mr11="$(table_rows "$m11")"
+mr41="$(table_rows "$m41")"
+mr44="$(table_rows "$m44")"
+[ -n "$mr11" ] || { echo "ml table smoke: no digests emitted" >&2; exit 1; }
+if [ "$mr11" != "$mr41" ]; then
+  echo "ml table smoke: 5-layer differential rows differ between" \
+       "ODONN_THREADS=1 and 4" >&2
+  exit 1
+fi
+if [ "$mr41" != "$mr44" ]; then
+  echo "ml table smoke: 5-layer differential rows differ between jobs=1" \
+       "and jobs=4" >&2
+  exit 1
+fi
+echo "ml table smoke: layers=5 detector=differential rows identical" \
+     "across threads and jobs"
+
+# Layer-scaling bench: the {1,5}-layer x {standard,differential} A/B must
+# pass its shape checks (valid accuracies, deterministic replay); the JSON
+# record lands in build/layers_artifacts/ for CI upload.
+rm -rf layers_artifacts && mkdir -p layers_artifacts
+lsout="$(ODONN_THREADS=4 ./layers_scaling bench.scale=smoke realizations=4 \
+  format=json)" ||
+  { echo "layers smoke: layers_scaling bench failed" >&2; exit 1; }
+printf '%s\n' "$lsout" | grep -v '^\[' > layers_artifacts/layers_scaling.json
+grep -q '"cells"' layers_artifacts/layers_scaling.json ||
+  { echo "layers smoke: record missing cells array" >&2; exit 1; }
+echo "layers smoke: scaling record written and shape checks passed"
 
 # Observability smoke: the SAME table with metrics= and trace= exports on
 # (which also flips on detail collection and tracing) must stay bitwise

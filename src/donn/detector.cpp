@@ -121,4 +121,82 @@ std::size_t DetectorLayout::predict(const MatrixD& intensity) const {
       std::max_element(sums.begin(), sums.end()) - sums.begin());
 }
 
+const char* detector_mode_name(DetectorMode mode) {
+  switch (mode) {
+    case DetectorMode::Standard:
+      return "standard";
+    case DetectorMode::Differential:
+      return "differential";
+  }
+  return "?";
+}
+
+DetectorMode parse_detector_mode(const std::string& name) {
+  if (name == "standard") return DetectorMode::Standard;
+  if (name == "differential") return DetectorMode::Differential;
+  throw ConfigError("unknown detector mode '" + name +
+                    "' (expected standard|differential)");
+}
+
+ReadoutStrategy::ReadoutStrategy(DetectorMode mode, DetectorLayout layout)
+    : mode_(mode), layout_(std::move(layout)) {
+  const std::size_t regions = layout_.regions().size();
+  if (mode_ == DetectorMode::Differential) {
+    ODONN_CHECK(regions % 2 == 0 && regions >= 2,
+                "differential readout needs an even region count (+/- pairs)");
+    num_classes_ = regions / 2;
+  } else {
+    num_classes_ = regions;
+  }
+}
+
+ReadoutStrategy ReadoutStrategy::evenly_spaced(DetectorMode mode,
+                                               std::size_t grid_n,
+                                               std::size_t num_classes,
+                                               std::size_t region_size) {
+  const std::size_t regions =
+      mode == DetectorMode::Differential ? 2 * num_classes : num_classes;
+  return ReadoutStrategy(
+      mode, DetectorLayout::evenly_spaced(grid_n, regions, region_size));
+}
+
+std::vector<double> ReadoutStrategy::scores_from_region_sums(
+    std::vector<double> region_sums) const {
+  ODONN_CHECK_SHAPE(region_sums.size() == num_regions(),
+                    "readout: region sum count mismatch");
+  if (mode_ == DetectorMode::Standard) return region_sums;
+  std::vector<double> scores(num_classes_);
+  for (std::size_t k = 0; k < num_classes_; ++k) {
+    scores[k] = region_sums[2 * k] - region_sums[2 * k + 1];
+  }
+  return scores;
+}
+
+std::vector<double> ReadoutStrategy::region_grads_from_score_grads(
+    const std::vector<double>& score_grads) const {
+  ODONN_CHECK_SHAPE(score_grads.size() == num_classes_,
+                    "readout adjoint: class count mismatch");
+  if (mode_ == DetectorMode::Standard) return score_grads;
+  std::vector<double> region_grads(num_regions());
+  for (std::size_t k = 0; k < num_classes_; ++k) {
+    region_grads[2 * k] = score_grads[k];
+    region_grads[2 * k + 1] = -score_grads[k];
+  }
+  return region_grads;
+}
+
+std::vector<double> ReadoutStrategy::readout(const MatrixD& intensity) const {
+  return scores_from_region_sums(layout_.readout(intensity));
+}
+
+MatrixD ReadoutStrategy::scatter(const std::vector<double>& grad_scores) const {
+  return layout_.scatter(region_grads_from_score_grads(grad_scores));
+}
+
+std::size_t ReadoutStrategy::predict(const MatrixD& intensity) const {
+  const auto scores = readout(intensity);
+  return static_cast<std::size_t>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
 }  // namespace odonn::donn

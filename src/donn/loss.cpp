@@ -40,10 +40,14 @@ LossResult evaluate_loss(const std::vector<double>& sums, std::size_t label,
   result.predicted = static_cast<std::size_t>(
       std::max_element(sums.begin(), sums.end()) - sums.begin());
 
-  // Normalize raw sums into logits z; remember the chain factors.
+  // Normalize raw sums into logits z; remember the chain factors. The
+  // TotalPower denominator is sum(|s|), not sum(s): standard readouts are
+  // non-negative so |s| is an exact identity there, while differential
+  // readouts are signed and can sum to ~0, which would divide by eps and
+  // flip logit signs.
   std::vector<double> z(n);
   double total = 0.0;
-  for (double s : sums) total += s;
+  for (double s : sums) total += std::abs(s);
   const double scale = (options.norm == NormMode::TotalPower)
                            ? static_cast<double>(n) / (total + options.eps)
                            : 1.0;
@@ -80,13 +84,17 @@ LossResult evaluate_loss(const std::vector<double>& sums, std::size_t label,
   // Chain through the normalization z_i = scale(s) * s_i.
   result.grad_sums.assign(n, 0.0);
   if (options.norm == NormMode::TotalPower) {
-    // dz_i/ds_j = scale * delta_ij - n * s_i / (total+eps)^2
-    //           = scale * delta_ij - z_i / (total+eps).
+    // With total = sum(|s|):
+    //   dz_i/ds_j = scale * delta_ij - n * s_i * sgn(s_j) / (total+eps)^2
+    //             = scale * delta_ij - sgn(s_j) * z_i / (total+eps).
+    // sgn(0) := +1, matching d|x|/dx one-sided at 0; for non-negative sums
+    // every sgn is +1 and the arithmetic is unchanged bit for bit.
     double gz_dot_z = 0.0;
     for (std::size_t i = 0; i < n; ++i) gz_dot_z += gz[i] * z[i];
     const double inv_total = 1.0 / (total + options.eps);
     for (std::size_t j = 0; j < n; ++j) {
-      result.grad_sums[j] = scale * gz[j] - inv_total * gz_dot_z;
+      const double sgn = (sums[j] < 0.0) ? -1.0 : 1.0;
+      result.grad_sums[j] = scale * gz[j] - sgn * (inv_total * gz_dot_z);
     }
   } else {
     result.grad_sums = gz;

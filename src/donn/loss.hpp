@@ -4,9 +4,10 @@
 //   l = || Softmax(I) - t ||^2
 // Raw detector sums can be numerically tiny (the field power is normalized),
 // so the readout vector is first normalized; NormMode::TotalPower rescales
-// sums to num_classes * s / (sum(s) + eps), which keeps softmax in a useful
-// dynamic range without changing argmax. Cross-entropy is provided as an
-// extension used by ablation benches.
+// sums to num_classes * s / (sum(|s|) + eps), which keeps softmax in a
+// useful dynamic range without changing argmax — the absolute-value total
+// also keeps the scale positive and bounded for signed differential-readout
+// scores. Cross-entropy is provided as an extension used by ablation benches.
 #pragma once
 
 #include <cstddef>
@@ -18,8 +19,9 @@ namespace odonn::donn {
 enum class LossType { SoftmaxMse, CrossEntropy };
 
 enum class NormMode {
-  None,        ///< use raw intensity sums as logits
-  TotalPower,  ///< logits = C * s / (sum(s) + eps)
+  None,        ///< use raw scores as logits
+  TotalPower,  ///< logits = C * s / (sum(|s|) + eps); exact for non-negative
+               ///< sums, safe for signed differential scores
 };
 
 struct LossOptions {

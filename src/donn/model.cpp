@@ -38,9 +38,9 @@ DonnModel::DonnModel(const DonnConfig& config, Rng& rng)
           optics::PropagatorOptions{
               {config.kernel, config.wavelength, config.distance},
               config.pad2x})),
-      detector_(DetectorLayout::evenly_spaced(config.grid.n,
-                                              config.num_classes,
-                                              config.detector_size)) {
+      detector_(ReadoutStrategy::evenly_spaced(config.detector, config.grid.n,
+                                               config.num_classes,
+                                               config.detector_size)) {
   ODONN_CHECK(config.num_layers >= 1, "model needs at least one layer");
   phases_.reserve(config.num_layers);
   for (std::size_t i = 0; i < config.num_layers; ++i) {

@@ -60,6 +60,7 @@ struct DonnConfig {
   std::size_t num_layers = optics::PaperSystem::kNumLayers;
   std::size_t num_classes = 10;
   std::size_t detector_size = optics::PaperSystem::kDetectorSize;
+  DetectorMode detector = DetectorMode::Standard;
   PhaseInit init = PhaseInit::Flat;
 
   /// Exact paper geometry (§IV-A1).
@@ -80,7 +81,7 @@ class DonnModel {
 
   const DonnConfig& config() const { return config_; }
   std::size_t num_layers() const { return phases_.size(); }
-  const DetectorLayout& detector() const { return detector_; }
+  const ReadoutStrategy& detector() const { return detector_; }
   const optics::Propagator& propagator() const { return *propagator_; }
 
   std::vector<MatrixD>& phases() { return phases_; }
@@ -107,7 +108,8 @@ class DonnModel {
   /// Detector-plane intensity |f|^2.
   MatrixD output_intensity(const optics::Field& input) const;
 
-  /// Raw per-class intensity sums.
+  /// Raw per-class scores (region intensity sums in Standard mode, signed
+  /// +/- pair differences in Differential mode).
   std::vector<double> detector_sums(const optics::Field& input) const;
 
   /// argmax class.
@@ -136,7 +138,7 @@ class DonnModel {
   std::vector<std::size_t> predict_batch(
       const std::vector<optics::Field>& inputs) const;
 
-  /// Batched raw per-class intensity sums.
+  /// Batched raw per-class scores.
   std::vector<std::vector<double>> detector_sums_batch(
       const std::vector<optics::Field>& inputs) const;
 
@@ -166,7 +168,7 @@ class DonnModel {
   std::shared_ptr<const optics::Propagator> propagator_;
   std::vector<MatrixD> phases_;
   std::vector<sparsify::SparsityMask> masks_;
-  DetectorLayout detector_;
+  ReadoutStrategy detector_;
 };
 
 }  // namespace odonn::donn

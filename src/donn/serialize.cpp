@@ -11,7 +11,9 @@ namespace odonn::donn {
 namespace {
 
 constexpr char kMagic[4] = {'O', 'D', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// v1: config without detector mode (implicitly Standard).
+// v2: appends a u32 detector mode after detector_size.
+constexpr std::uint32_t kVersion = 2;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -53,6 +55,7 @@ void save_model(const DonnModel& model, const std::string& path) {
   write_u32(out, static_cast<std::uint32_t>(cfg.num_layers));
   write_u32(out, static_cast<std::uint32_t>(cfg.num_classes));
   write_u32(out, static_cast<std::uint32_t>(cfg.detector_size));
+  write_u32(out, static_cast<std::uint32_t>(cfg.detector));
 
   write_u32(out, static_cast<std::uint32_t>(model.phases().size()));
   for (const auto& phi : model.phases()) {
@@ -80,7 +83,7 @@ DonnModel load_model(const std::string& path) {
     throw IoError("not an odonn model file: " + path);
   }
   const std::uint32_t version = read_u32(in, path);
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     throw IoError("unsupported model version in " + path);
   }
 
@@ -96,6 +99,11 @@ DonnModel load_model(const std::string& path) {
   cfg.num_layers = read_u32(in, path);
   cfg.num_classes = read_u32(in, path);
   cfg.detector_size = read_u32(in, path);
+  if (version >= 2) {
+    const std::uint32_t mode = read_u32(in, path);
+    if (mode > 1) throw IoError("invalid detector mode in " + path);
+    cfg.detector = static_cast<DetectorMode>(mode);
+  }  // v1 checkpoints predate detector modes: Standard.
   if (cfg.num_layers == 0 || cfg.num_layers > 64) {
     throw IoError("implausible layer count in " + path);
   }

@@ -5,6 +5,8 @@
 // Format (little-endian, doubles as IEEE-754):
 //   magic "ODNN" | u32 version | config fields | u32 layer count |
 //   per layer: n*n f64 phases | u8 has_masks | per layer: n*n u8 mask
+// Version 2 appends a u32 detector mode (0 standard, 1 differential) to the
+// config fields; version-1 checkpoints still load as Standard.
 #pragma once
 
 #include <string>

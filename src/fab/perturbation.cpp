@@ -136,13 +136,25 @@ SurfaceRoughness::SurfaceRoughness(const SurfaceRoughnessOptions& options)
 }
 
 std::string SurfaceRoughness::describe() const {
-  return "roughness(sigma_um=" + format_double(options_.sigma_um) +
-         ",corr=" + format_double(options_.correlation_px) + ")";
+  std::string out = "roughness(sigma_um=" + format_double(options_.sigma_um) +
+                    ",corr=" + format_double(options_.correlation_px);
+  if (options_.layer >= 0) {
+    out += ",layer=" + std::to_string(options_.layer);
+  }
+  return out + ")";
 }
 
 void SurfaceRoughness::apply(FabricatedDevice& device, Rng& rng) const {
   const double sigma_m = options_.sigma_um * 1e-6;
-  for (auto& phase : device.phases) {
+  ODONN_CHECK(options_.layer < 0 ||
+                  static_cast<std::size_t>(options_.layer) <
+                      device.phases.size(),
+              "roughness perturbation: layer index out of range");
+  for (std::size_t l = 0; l < device.phases.size(); ++l) {
+    if (options_.layer >= 0 && static_cast<std::size_t>(options_.layer) != l) {
+      continue;  // untargeted layers draw nothing (spec defines the stream)
+    }
+    MatrixD& phase = device.phases[l];
     // Height error lives on the printed relief: convert the (unwrapped,
     // zone-preserving) thickness map, add the correlated field, convert
     // back. The conversions are linear, so the injected phase RMS is
@@ -167,7 +179,11 @@ QuantizeLevels::QuantizeLevels(const QuantizeLevelsOptions& options)
 }
 
 std::string QuantizeLevels::describe() const {
-  return "quantize(levels=" + std::to_string(options_.levels) + ")";
+  std::string out = "quantize(levels=" + std::to_string(options_.levels);
+  if (options_.layer >= 0) {
+    out += ",layer=" + std::to_string(options_.layer);
+  }
+  return out + ")";
 }
 
 void QuantizeLevels::apply(FabricatedDevice& device, Rng& /*rng*/) const {
@@ -176,9 +192,16 @@ void QuantizeLevels::apply(FabricatedDevice& device, Rng& /*rng*/) const {
   // exact number of steps, so the 2*pi optimizer's multi-zone relief is
   // preserved rather than wrapped away (donn::quantize_phase's kinoform
   // wrap would collapse smoothed and unsmoothed masks to the same levels).
+  ODONN_CHECK(options_.layer < 0 ||
+                  static_cast<std::size_t>(options_.layer) <
+                      device.phases.size(),
+              "quantize perturbation: layer index out of range");
   const double step = 2.0 * M_PI / static_cast<double>(options_.levels);
-  for (auto& phase : device.phases) {
-    phase.transform([step](double v) {
+  for (std::size_t l = 0; l < device.phases.size(); ++l) {
+    if (options_.layer >= 0 && static_cast<std::size_t>(options_.layer) != l) {
+      continue;
+    }
+    device.phases[l].transform([step](double v) {
       return static_cast<double>(std::lround(v / step)) * step;
     });
   }

@@ -116,6 +116,10 @@ MatrixD gaussian_random_field(std::size_t rows, std::size_t cols,
 struct SurfaceRoughnessOptions {
   double sigma_um = 0.05;       ///< RMS height error of the print [um]
   double correlation_px = 2.0;  ///< lateral correlation length [pixels]
+  long layer = -1;              ///< restrict to this mask index (-1 = all),
+                                ///< for per-layer severity in multi-layer
+                                ///< stacks; draws occur only for the
+                                ///< targeted layer
   optics::MaterialSpec material = {};
 };
 
@@ -135,6 +139,7 @@ class SurfaceRoughness final : public PerturbationModel {
 
 struct QuantizeLevelsOptions {
   std::size_t levels = 16;  ///< printable height levels over one 2*pi zone
+  long layer = -1;          ///< restrict to this mask index (-1 = all)
 };
 
 /// Height quantization to N print levels (deterministic: draws nothing).

@@ -73,12 +73,24 @@ void reject_leftovers(const Args& args, const std::string& name) {
                     args.begin()->first + "' for model '" + name + "'");
 }
 
+/// Optional per-layer restriction: layer=-1 (default) hits every mask,
+/// layer=K only mask K of a multi-layer stack.
+long take_layer(Args& args, const std::string& name) {
+  const double layer = take(args, "layer", -1.0);
+  if (!(layer >= -1.0 && layer <= 64.0 && layer == std::floor(layer))) {
+    throw ConfigError("perturbation spec: " + name +
+                      " layer must be an integer in [-1, 64]");
+  }
+  return static_cast<long>(layer);
+}
+
 std::unique_ptr<PerturbationModel> build_model(const std::string& name,
                                                Args args) {
   if (name == "roughness") {
     SurfaceRoughnessOptions options;
     options.sigma_um = take(args, "sigma_um", options.sigma_um);
     options.correlation_px = take(args, "corr", options.correlation_px);
+    options.layer = take_layer(args, name);
     reject_leftovers(args, name);
     return std::make_unique<SurfaceRoughness>(options);
   }
@@ -95,6 +107,7 @@ std::unique_ptr<PerturbationModel> build_model(const std::string& name,
           "[2, 65536]");
     }
     options.levels = static_cast<std::size_t>(levels);
+    options.layer = take_layer(args, name);
     reject_leftovers(args, name);
     return std::make_unique<QuantizeLevels>(options);
   }

@@ -6,10 +6,14 @@
 // Grammar: stack  := model ('+' model)*
 //          model  := name [ '(' arg (',' arg)* ')' ]
 //          arg    := key '=' number
-// Names: roughness (sigma_um, corr), quantize (levels), misalign (sigma_px),
-// detune (sigma_rel), ctjitter (sigma). A name without parentheses (or with
-// empty ones) takes that model's defaults. Unknown names or keys throw
-// ConfigError — same fail-fast contract as Config::strict.
+// Names: roughness (sigma_um, corr, layer), quantize (levels, layer),
+// misalign (sigma_px), detune (sigma_rel), ctjitter (sigma). A name without
+// parentheses (or with empty ones) takes that model's defaults. roughness
+// and quantize accept layer=K to restrict the imperfection to mask K of a
+// multi-layer stack (default -1 = all layers), so per-layer severity specs
+// like roughness(sigma_um=0.1,layer=0)+roughness(sigma_um=0.02,layer=4)
+// compose. Unknown names or keys throw ConfigError — same fail-fast
+// contract as Config::strict.
 #pragma once
 
 #include <string>

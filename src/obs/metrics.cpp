@@ -41,7 +41,18 @@ std::string prometheus_name(const std::string& name) {
 }  // namespace
 
 Histogram::Histogram(std::size_t capacity)
-    : window_(capacity > 0 ? capacity : 1, 0.0) {}
+    : window_(capacity > 0 ? capacity : 1, 0.0),
+      buckets_(bucket_bounds().size(), 0) {}
+
+const std::vector<double>& Histogram::bucket_bounds() {
+  // Hand-written literals (not computed in a loop) so every bound is an
+  // exact short decimal and the le= labels print exactly.
+  static const std::vector<double> bounds = {
+      0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,  0.25, 0.5,  1.0,  2.5,
+      5.0,   10.0,   25.0,  50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+      10000.0};
+  return bounds;
+}
 
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -54,6 +65,11 @@ void Histogram::observe(double value) {
   }
   ++count_;
   sum_ += value;
+  const auto& bounds = bucket_bounds();
+  const auto bucket = std::lower_bound(bounds.begin(), bounds.end(), value);
+  if (bucket != bounds.end()) {  // above the top bound: +Inf only
+    ++buckets_[static_cast<std::size_t>(bucket - bounds.begin())];
+  }
   window_[next_] = value;
   ++next_;
   if (next_ == window_.size()) {
@@ -65,6 +81,7 @@ void Histogram::observe(double value) {
 Histogram::Snapshot Histogram::snapshot() const {
   std::vector<double> retained;
   Snapshot snap;
+  snap.buckets.assign(bucket_bounds().size(), 0);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) {
@@ -74,6 +91,11 @@ Histogram::Snapshot Histogram::snapshot() const {
     snap.sum = sum_;
     snap.min = min_;
     snap.max = max_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cumulative += buckets_[i];
+      snap.buckets[i] = cumulative;
+    }
     const std::size_t retained_count = wrapped_ ? window_.size() : next_;
     retained.assign(window_.begin(),
                     window_.begin() + static_cast<std::ptrdiff_t>(
@@ -98,6 +120,7 @@ void Histogram::reset() {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
 }
 
 struct MetricsRegistry::Entry {
@@ -315,6 +338,24 @@ std::string MetricsRegistry::to_text() const {
             << "\n"
             << prom << "_sum " << format_double(snap.sum) << "\n"
             << prom << "_count " << snap.count << "\n";
+        // Native-histogram companion family: cumulative le= buckets are
+        // mergeable across processes, which the quantile summary is not.
+        const std::string hist = prom + "_hist";
+        const auto& bounds = Histogram::bucket_bounds();
+        out << "# HELP " << hist << " odonn metric '" << name
+            << "' (native histogram buckets)\n"
+            << "# TYPE " << hist << " histogram\n";
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          // Plain decimal (never scientific) for le= labels: "50", not
+          // "5e+01" — the Prometheus bucket-label convention.
+          char le[32];
+          std::snprintf(le, sizeof(le), "%.10g", bounds[i]);
+          out << hist << "_bucket{le=\"" << le << "\"} " << snap.buckets[i]
+              << "\n";
+        }
+        out << hist << "_bucket{le=\"+Inf\"} " << snap.count << "\n"
+            << hist << "_sum " << format_double(snap.sum) << "\n"
+            << hist << "_count " << snap.count << "\n";
         break;
       }
     }

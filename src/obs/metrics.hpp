@@ -93,6 +93,12 @@ class Histogram {
 
   explicit Histogram(std::size_t capacity = kDefaultCapacity);
 
+  /// Fixed log-spaced bucket bounds (1-2.5-5 per decade, 1e-3 .. 1e4)
+  /// shared by every instrument: microseconds to ten seconds when the unit
+  /// is ms, and 1..10000 for dimensionless series like batch sizes.
+  /// Observations above the last bound count only toward +Inf.
+  static const std::vector<double>& bucket_bounds();
+
   void observe(double value);
 
   struct Snapshot {
@@ -104,6 +110,10 @@ class Histogram {
     double p90 = 0.0;
     double p99 = 0.0;
     double p999 = 0.0;
+    /// Cumulative native-histogram counts: buckets[i] = observations with
+    /// value <= bucket_bounds()[i], over ALL observations (running, like
+    /// count/sum — not windowed). The +Inf bucket is `count`.
+    std::vector<std::uint64_t> buckets;
   };
 
   /// Zeroed snapshot when nothing was observed.
@@ -120,6 +130,7 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::vector<std::uint64_t> buckets_;  ///< per-bound counts (non-cumulative)
 };
 
 /// Name -> instrument map. Instruments are created on first use and never
@@ -154,10 +165,14 @@ class MetricsRegistry {
   /// Prometheus-style exposition: dots in names become underscores, every
   /// metric is prefixed "odonn_" and preceded by # HELP / # TYPE lines;
   /// histograms export as summaries (quantile-labelled samples for
-  /// 0.5/0.9/0.99/0.999 plus _count/_sum). All quantiles go through the
-  /// repo-wide odonn::nearest_rank rule, so they agree with the serve
-  /// benches to the bit. This is the exact body `GET /metrics` serves
-  /// (tests assert byte equality).
+  /// 0.5/0.9/0.99/0.999 plus _count/_sum) AND as a native-histogram family
+  /// "<name>_hist" with cumulative le=-labelled _bucket samples over
+  /// Histogram::bucket_bounds() plus _hist_sum/_hist_count, so scrapers
+  /// can aggregate across processes (quantile summaries cannot be merged;
+  /// buckets can). All quantiles go through the repo-wide
+  /// odonn::nearest_rank rule, so they agree with the serve benches to the
+  /// bit. This is the exact body `GET /metrics` serves (tests assert byte
+  /// equality).
   std::string to_text() const;
 
   /// Zeroes every instrument IN PLACE — nodes survive so cached references

@@ -84,6 +84,8 @@ train::RecipeOptions options_from_config(const Config& cfg) {
   opt.model = donn::DonnConfig::scaled(grid);
   opt.model.num_layers = static_cast<std::size_t>(
       cfg.get_int("layers", static_cast<long>(opt.model.num_layers)));
+  opt.model.detector = donn::parse_detector_mode(
+      cfg.get_enum("detector", "standard", {"standard", "differential"}));
   const std::string init = cfg.get_enum("init", "flat", {"flat", "uniform"});
   opt.model.init =
       init == "flat" ? donn::PhaseInit::Flat : donn::PhaseInit::Uniform;
@@ -168,7 +170,8 @@ RobustTrainStageOptions robust_train_options_from_config(const Config& cfg) {
 
 std::vector<std::string> config_keys() {
   return {"recipe",          "pipeline",  "roughness", "intra",
-          "grid",            "layers",    "init",      "epochs",
+          "grid",            "layers",    "detector",  "init",
+          "epochs",
           "epochs_sparse",   "epochs_finetune",        "batch",
           "lr",              "lr_sparse", "p",         "q",
           "sparsity",        "block",     "two_pi_iters",

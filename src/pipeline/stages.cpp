@@ -227,9 +227,15 @@ void SmoothTwoPiStage::run(ArtifactStore& store) {
   std::vector<MatrixD> smoothed;
   smoothed.reserve(layer_results.size());
   double after_sum = 0.0;
-  for (const auto& lr : layer_results) {
+  for (std::size_t i = 0; i < layer_results.size(); ++i) {
+    const auto& lr = layer_results[i];
     smoothed.push_back(lr.optimized);
     after_sum += lr.roughness_after;
+    // Per-layer detail next to the overall mean, so multi-layer stacks show
+    // which mask the smoother actually flattened.
+    store.put_metric(std::string(artifacts::kRoughnessAfter) + ".layer" +
+                         std::to_string(i),
+                     lr.roughness_after);
   }
   store.put_metric(artifacts::kRoughnessAfter,
                    after_sum / static_cast<double>(layer_results.size()));
@@ -316,6 +322,11 @@ void ReportStage::run(ArtifactStore& store) {
   const donn::DonnModel& model = store.model(artifacts::kMainModel);
   const auto before = roughness::report(model.phases(), options_.roughness);
   store.put_metric(artifacts::kRoughnessBefore, before.overall);
+  for (std::size_t i = 0; i < before.per_layer.size(); ++i) {
+    store.put_metric(std::string(artifacts::kRoughnessBefore) + ".layer" +
+                         std::to_string(i),
+                     before.per_layer[i]);
+  }
   store.put_metric(artifacts::kSparsity, overall_sparsity(model));
 }
 

@@ -211,12 +211,15 @@ void BatchKernel::run(const std::vector<optics::Field>& inputs,
 
           // Detector readout straight off the lane group: same per-pixel
           // |f|^2 values accumulated in the same region order as
-          // DetectorLayout::readout on a full intensity plane.
+          // DetectorLayout::readout on a full intensity plane, then mapped
+          // to class scores by the model's ReadoutStrategy (identity in
+          // Standard mode, +/- pair differences in Differential mode).
+          const auto& regions = detector.layout().regions();
           for (std::size_t s = 0; s < lanes; ++s) {
             const std::size_t k = first + s;
-            std::vector<double> class_sums(detector.num_classes(), 0.0);
-            for (std::size_t cls = 0; cls < detector.num_classes(); ++cls) {
-              const auto& region = detector.regions()[cls];
+            std::vector<double> region_sums(regions.size(), 0.0);
+            for (std::size_t rg = 0; rg < regions.size(); ++rg) {
+              const auto& region = regions[rg];
               double acc = 0.0;
               for (std::size_t r = region.r0; r < region.r0 + region.size;
                    ++r) {
@@ -226,8 +229,10 @@ void BatchKernel::run(const std::vector<optics::Field>& inputs,
                   acc += re[i] * re[i] + im[i] * im[i];
                 }
               }
-              class_sums[cls] = acc;
+              region_sums[rg] = acc;
             }
+            auto class_sums =
+                detector.scores_from_region_sums(std::move(region_sums));
             if (predictions) {
               (*predictions)[k] = static_cast<std::size_t>(
                   std::max_element(class_sums.begin(), class_sums.end()) -

@@ -124,6 +124,90 @@ TEST(Detector, PredictReturnsArgmaxRegion) {
   EXPECT_EQ(layout.predict(intensity), 2u);
 }
 
+TEST(Detector, DifferentialPairsScoreAndPredict) {
+  // Each class k reads region 2k (positive) minus region 2k+1 (negative).
+  const auto strategy = ReadoutStrategy::evenly_spaced(
+      DetectorMode::Differential, 20, 4, 3);
+  EXPECT_EQ(strategy.num_classes(), 4u);
+  EXPECT_EQ(strategy.num_regions(), 8u);
+
+  MatrixD intensity(20, 20, 0.0);
+  const auto& pos = strategy.layout().regions()[4];  // class 2, + region
+  const auto& neg = strategy.layout().regions()[5];  // class 2, - region
+  intensity(pos.r0, pos.c0) = 5.0;
+  intensity(neg.r0, neg.c0) = 1.5;
+  const auto scores = strategy.readout(intensity);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(scores[2], 3.5);
+  EXPECT_EQ(strategy.predict(intensity), 2u);
+
+  // Negative-region energy drives the score below zero.
+  intensity(neg.r0, neg.c0) = 9.0;
+  EXPECT_DOUBLE_EQ(strategy.readout(intensity)[2], -4.0);
+}
+
+TEST(Detector, DifferentialReadoutScatterAdjoint) {
+  // <readout(I), g> == <I, scatter(g)> must hold through the +/- pair
+  // mapping, not just for the raw layout.
+  const auto strategy = ReadoutStrategy::evenly_spaced(
+      DetectorMode::Differential, 20, 4, 3);
+  Rng rng(4);
+  MatrixD intensity(20, 20);
+  for (auto& v : intensity) v = rng.uniform();
+  const std::vector<double> g{0.3, -1.2, 0.5, 2.0};
+
+  const auto scores = strategy.readout(intensity);
+  double lhs = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) lhs += scores[c] * g[c];
+
+  const MatrixD scattered = strategy.scatter(g);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < intensity.size(); ++i) {
+    rhs += intensity[i] * scattered[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+TEST(Detector, DifferentialScatterMatchesFiniteDifferencesPerPair) {
+  // FD parity per region pair: bumping a pixel in the + region of class k
+  // moves score k by +h, in the - region by -h, elsewhere not at all.
+  const auto strategy = ReadoutStrategy::evenly_spaced(
+      DetectorMode::Differential, 20, 3, 3);
+  Rng rng(5);
+  MatrixD intensity(20, 20);
+  for (auto& v : intensity) v = rng.uniform();
+
+  const double h = 1e-6;
+  for (std::size_t k = 0; k < strategy.num_classes(); ++k) {
+    std::vector<double> g(strategy.num_classes(), 0.0);
+    g[k] = 1.0;
+    const MatrixD scattered = strategy.scatter(g);
+    for (std::size_t pair = 0; pair < 2; ++pair) {
+      const auto& region = strategy.layout().regions()[2 * k + pair];
+      MatrixD bumped = intensity;
+      bumped(region.r0, region.c0) += h;
+      const double numeric =
+          (strategy.readout(bumped)[k] - strategy.readout(intensity)[k]) / h;
+      const double expected = (pair == 0) ? 1.0 : -1.0;
+      EXPECT_NEAR(numeric, expected, 1e-6) << "class " << k << " pair " << pair;
+      EXPECT_DOUBLE_EQ(scattered(region.r0, region.c0), expected);
+    }
+  }
+}
+
+TEST(Detector, DifferentialNeedsEvenRegions) {
+  EXPECT_THROW(ReadoutStrategy(DetectorMode::Differential,
+                               DetectorLayout::evenly_spaced(20, 3, 3)),
+               Error);
+}
+
+TEST(Detector, ModeNamesRoundTrip) {
+  EXPECT_EQ(parse_detector_mode("standard"), DetectorMode::Standard);
+  EXPECT_EQ(parse_detector_mode("differential"), DetectorMode::Differential);
+  EXPECT_STREQ(detector_mode_name(DetectorMode::Differential), "differential");
+  EXPECT_THROW(parse_detector_mode("argmax"), ConfigError);
+}
+
 TEST(Loss, SoftmaxIsStableAndNormalized) {
   const auto p = softmax({1000.0, 1001.0, 999.0});
   EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
@@ -165,6 +249,60 @@ TEST_P(LossGrad, MatchesFiniteDifferences) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllVariants, LossGrad,
+    ::testing::Combine(::testing::Values(LossType::SoftmaxMse,
+                                         LossType::CrossEntropy),
+                       ::testing::Values(NormMode::None, NormMode::TotalPower)));
+
+TEST(Loss, TotalPowerNormalizesSignedScoresByAbsSum) {
+  // Regression for differential readout: signed scores used to normalize by
+  // the raw sum, which can cancel toward zero and blow the logits up (or
+  // flip their signs). The scale must use sum(|s|).
+  LossOptions opt;
+  opt.norm = NormMode::TotalPower;
+  // Raw sum = 0.0 exactly; abs sum = 0.84.
+  const std::vector<double> sums{0.4, -0.39, 0.02, -0.03};
+  const auto result = evaluate_loss(sums, 0, opt);
+  EXPECT_TRUE(std::isfinite(result.loss));
+  EXPECT_EQ(result.predicted, 0u);
+
+  const double h = 1e-7;
+  for (std::size_t j = 0; j < sums.size(); ++j) {
+    auto hi = sums, lo = sums;
+    hi[j] += h;
+    lo[j] -= h;
+    const double numeric = (evaluate_loss(hi, 0, opt).loss -
+                            evaluate_loss(lo, 0, opt).loss) /
+                           (2.0 * h);
+    EXPECT_NEAR(result.grad_sums[j], numeric, 1e-5) << "logit " << j;
+  }
+}
+
+class SignedLossGrad
+    : public ::testing::TestWithParam<std::tuple<LossType, NormMode>> {};
+
+TEST_P(SignedLossGrad, MatchesFiniteDifferences) {
+  const auto [type, norm] = GetParam();
+  LossOptions opt;
+  opt.type = type;
+  opt.norm = norm;
+  const std::vector<double> sums{0.31, -0.12, 0.44, -0.08, 0.21};
+  const std::size_t label = 1;
+  const auto result = evaluate_loss(sums, label, opt);
+
+  const double h = 1e-7;
+  for (std::size_t j = 0; j < sums.size(); ++j) {
+    auto hi = sums, lo = sums;
+    hi[j] += h;
+    lo[j] -= h;
+    const double numeric = (evaluate_loss(hi, label, opt).loss -
+                            evaluate_loss(lo, label, opt).loss) /
+                           (2.0 * h);
+    EXPECT_NEAR(result.grad_sums[j], numeric, 1e-5) << "logit " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SignedLossGrad,
     ::testing::Combine(::testing::Values(LossType::SoftmaxMse,
                                          LossType::CrossEntropy),
                        ::testing::Values(NormMode::None, NormMode::TotalPower)));
@@ -226,6 +364,64 @@ TEST(Model, ForwardBackwardGradientMatchesFiniteDifferences) {
   model.forward_backward(input, label, grads, loss_opt);
 
   // Check a probe subset of each layer's gradient entries numerically.
+  for (std::size_t layer = 0; layer < model.num_layers(); ++layer) {
+    const MatrixD numeric = numerical_gradient(
+        [&](const MatrixD& probe) {
+          DonnModel m2 = model;
+          auto phases = m2.phases();
+          phases[layer] = probe;
+          m2.set_phases(std::move(phases));
+          return evaluate_loss(m2.detector_sums(input), label, loss_opt).loss;
+        },
+        model.phases()[layer], 1e-5);
+    EXPECT_LT(gradient_rel_error(grads[layer], numeric), 2e-4)
+        << "layer " << layer;
+  }
+}
+
+TEST(Model, FiveLayerGradientMatchesFiniteDifferences) {
+  // Per-layer adjoint through the deep stack: the five-layer recipe axis
+  // must backpropagate correctly through every mask, not just the first two.
+  Rng rng(12);
+  DonnConfig cfg = tiny_config(16, 5);
+  DonnModel model(cfg, rng);
+  const auto input = random_input(cfg.grid, 15);
+  const std::size_t label = 1;
+  LossOptions loss_opt;
+
+  auto grads = model.zero_gradients();
+  model.forward_backward(input, label, grads, loss_opt);
+
+  for (std::size_t layer = 0; layer < model.num_layers(); ++layer) {
+    const MatrixD numeric = numerical_gradient(
+        [&](const MatrixD& probe) {
+          DonnModel m2 = model;
+          auto phases = m2.phases();
+          phases[layer] = probe;
+          m2.set_phases(std::move(phases));
+          return evaluate_loss(m2.detector_sums(input), label, loss_opt).loss;
+        },
+        model.phases()[layer], 1e-5);
+    EXPECT_LT(gradient_rel_error(grads[layer], numeric), 2e-4)
+        << "layer " << layer;
+  }
+}
+
+TEST(Model, DifferentialGradientMatchesFiniteDifferences) {
+  // The differential scatter adjoint must agree with FD through the full
+  // optical stack (signed scores feed the TotalPower-normalized loss).
+  Rng rng(13);
+  DonnConfig cfg = tiny_config(16, 3);
+  cfg.detector = DetectorMode::Differential;
+  DonnModel model(cfg, rng);
+  EXPECT_EQ(model.detector().num_regions(), 2 * cfg.num_classes);
+  const auto input = random_input(cfg.grid, 16);
+  const std::size_t label = 4;
+  LossOptions loss_opt;
+
+  auto grads = model.zero_gradients();
+  model.forward_backward(input, label, grads, loss_opt);
+
   for (std::size_t layer = 0; layer < model.num_layers(); ++layer) {
     const MatrixD numeric = numerical_gradient(
         [&](const MatrixD& probe) {

@@ -259,6 +259,69 @@ TEST(Serialize, RoundTripPreservesModel) {
   for (std::size_t c = 0; c < a.size(); ++c) EXPECT_DOUBLE_EQ(a[c], b[c]);
 }
 
+TEST(Serialize, RoundTripPreservesDetectorMode) {
+  Rng rng(21);
+  donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  cfg.num_layers = 5;
+  cfg.detector = donn::DetectorMode::Differential;
+  donn::DonnModel model(cfg, rng);
+
+  const std::string path = ::testing::TempDir() + "/diff_model.odnn";
+  donn::save_model(model, path);
+  const donn::DonnModel loaded = donn::load_model(path);
+
+  EXPECT_EQ(loaded.config().detector, donn::DetectorMode::Differential);
+  EXPECT_EQ(loaded.num_layers(), 5u);
+  EXPECT_EQ(loaded.detector().num_regions(), 2 * cfg.num_classes);
+
+  MatrixD image(16, 16, 0.0);
+  image(8, 8) = 1.0;
+  const auto input = optics::encode_image(image, cfg.grid);
+  const auto a = model.detector_sums(input);
+  const auto b = loaded.detector_sums(input);
+  for (std::size_t c = 0; c < a.size(); ++c) EXPECT_DOUBLE_EQ(a[c], b[c]);
+}
+
+TEST(Serialize, VersionOneStreamLoadsAsStandard) {
+  // Checkpoints written before the detector-mode format bump (version 1,
+  // no mode word after detector_size) must keep loading, as Standard.
+  const donn::DonnConfig cfg = donn::DonnConfig::scaled(16);
+  const std::string path = ::testing::TempDir() + "/v1_model.odnn";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const auto u32 = [&out](std::uint32_t v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    const auto f64 = [&out](double v) {
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    out.write("ODNN", 4);
+    u32(1);  // version 1: no detector mode word
+    u32(static_cast<std::uint32_t>(cfg.grid.n));
+    f64(cfg.grid.pitch);
+    f64(cfg.wavelength);
+    f64(cfg.distance);
+    u32(static_cast<std::uint32_t>(cfg.kernel));
+    u32(cfg.pad2x ? 1 : 0);
+    u32(2);  // num_layers
+    u32(static_cast<std::uint32_t>(cfg.num_classes));
+    u32(static_cast<std::uint32_t>(cfg.detector_size));
+    u32(2);  // stored layer count
+    const MatrixD phi(cfg.grid.n, cfg.grid.n, 0.5);
+    for (int l = 0; l < 2; ++l) {
+      out.write(reinterpret_cast<const char*>(phi.data()),
+                static_cast<std::streamsize>(phi.size() * sizeof(double)));
+    }
+    const std::uint8_t has_masks = 0;
+    out.write(reinterpret_cast<const char*>(&has_masks), 1);
+  }
+
+  const donn::DonnModel loaded = donn::load_model(path);
+  EXPECT_EQ(loaded.config().detector, donn::DetectorMode::Standard);
+  EXPECT_EQ(loaded.num_layers(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.phases()[0](3, 3), 0.5);
+}
+
 TEST(Serialize, RejectsWrongMagic) {
   const std::string path = ::testing::TempDir() + "/bogus.odnn";
   std::ofstream out(path, std::ios::binary);

@@ -187,6 +187,42 @@ TEST(MetricsRegistry, TextExporterIsPrometheusShaped) {
   EXPECT_NE(text.find("odonn_serve_queue_depth_max "), std::string::npos);
 }
 
+TEST(MetricsRegistry, NativeHistogramBucketsGoldenShape) {
+  auto& registry = obs::MetricsRegistry::global();
+  auto& hist = registry.histogram("test.buckets.hist");
+  hist.reset();
+  hist.observe(0.003);
+  hist.observe(0.003);
+  hist.observe(40.0);
+  hist.observe(99999.0);  // above the last bound: +Inf only
+
+  const auto snap = hist.snapshot();
+  ASSERT_EQ(snap.buckets.size(), obs::Histogram::bucket_bounds().size());
+
+  const std::string text = registry.to_text();
+  const std::string prom = "odonn_test_buckets_hist_hist";
+  EXPECT_NE(text.find("# TYPE " + prom + " histogram"), std::string::npos);
+  // Cumulative le= semantics: nothing at or below 0.0025, both 0.003
+  // observations by 0.005, all finite-bucketed ones by 50.
+  EXPECT_NE(text.find(prom + "_bucket{le=\"0.0025\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(prom + "_bucket{le=\"0.005\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find(prom + "_bucket{le=\"25\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find(prom + "_bucket{le=\"50\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find(prom + "_bucket{le=\"10000\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find(prom + "_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find(prom + "_sum "), std::string::npos);
+  EXPECT_NE(text.find(prom + "_count 4\n"), std::string::npos);
+  // The quantile summary family is still exported alongside.
+  EXPECT_NE(text.find("# TYPE odonn_test_buckets_hist summary"),
+            std::string::npos);
+  hist.reset();
+  const auto zeroed = hist.snapshot();
+  ASSERT_EQ(zeroed.buckets.size(), obs::Histogram::bucket_bounds().size());
+  EXPECT_TRUE(std::all_of(zeroed.buckets.begin(), zeroed.buckets.end(),
+                          [](std::uint64_t c) { return c == 0; }));
+}
+
 TEST(MetricsRegistry, ResetZeroesInPlace) {
   auto& registry = obs::MetricsRegistry::global();
   auto& counter = registry.counter("test.reset.counter");

@@ -208,6 +208,29 @@ TEST(BatchedForwardPass, FusedKernelBitForBitParity) {
   EXPECT_TRUE(forward.run({}).predictions.empty());
 }
 
+TEST(BatchedForwardPass, DifferentialDetectorBitForBitParity) {
+  // The fused kernel routes its region sums through the ReadoutStrategy:
+  // differential pair scores (signed) and argmax must match the
+  // single-sample path exactly.
+  donn::DonnConfig cfg = tiny_config(16, 3);
+  cfg.detector = donn::DetectorMode::Differential;
+  auto model = std::make_shared<const donn::DonnModel>(make_model(cfg, 181));
+  const BatchedForward forward(model);
+  ASSERT_TRUE(forward.fused());
+
+  const auto inputs = random_inputs(cfg.grid, 9, 182);
+  const auto result = forward.run(inputs);
+  ASSERT_EQ(result.predictions.size(), inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    EXPECT_EQ(result.predictions[k], model->predict(inputs[k]));
+    const auto single = model->detector_sums(inputs[k]);
+    ASSERT_EQ(result.detector_sums[k].size(), cfg.num_classes);
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(result.detector_sums[k][c], single[c]);
+    }
+  }
+}
+
 TEST(BatchedForwardPass, BluesteinGridFallsBackWithParity) {
   // 20 is not a power of two: the generic infer_batch path must serve the
   // batch (no fused kernel) with the same exact-parity guarantee.
