@@ -85,7 +85,8 @@ int main(int argc, char** argv) {
   // Sweep points are independent training runs: jobs= of them execute
   // concurrently through the parallel executor (results are bitwise
   // independent of jobs=, like the tables).
-  const train::TableRunOptions table{cfg.jobs, 0, "", false};
+  train::TableRunOptions table;
+  table.jobs = cfg.jobs;
 
   // (b) sparsification ratio sweep (Ours-B style).
   {

@@ -8,13 +8,24 @@
 # cluster (cluster-vs-single-engine prediction digest equality across
 # ODONN_THREADS), and the observability HTTP plane (scrape a live serve
 # run, then prove digests identical with the plane on vs off) — the
-# single entry point CI and humans run before merging. src/serve,
-# src/pipeline, src/fab, src/obs and src/common/parallel.cpp compile with
-# -Wall -Wextra -Werror (set in CMakeLists.txt), so any warning there
+# single entry point CI and humans run before merging. The whole tree
+# (library, tests, benches, examples, cli, tools) compiles with
+# -Wall -Wextra -Werror (set in CMakeLists.txt), so any warning anywhere
 # fails this script at the build step.
+#
+# Deeper legs live behind CMake presets and run as their own CI jobs (too
+# slow to fold in here): `ctest --preset asan-ubsan` (full suite under
+# ASan+UBSan) and `ctest --preset tsan` (the `concurrency` label under
+# ThreadSanitizer).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Determinism lint first: it needs no build and fails in seconds, so a
+# banned construct (ad-hoc seeding/threads/printing, percentile or
+# slice-layout reimplementations) surfaces before any compile time is
+# spent. The same script also runs as the `lint` ctest below.
+scripts/lint.sh --self-test
 
 cmake -B build -S .
 cmake --build build -j"$(nproc 2>/dev/null || echo 2)"

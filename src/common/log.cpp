@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/trace.hpp"
 
 namespace odonn::log {
@@ -18,7 +19,9 @@ namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized, read env on first use
 std::atomic<int> g_timestamps{-1};  // -1 = read ODONN_LOG_TIMESTAMPS first
-std::mutex g_emit_mutex;
+/// Serializes line emission only (stderr is the protected resource; the
+/// line buffer is function-local, so nothing is GUARDED_BY this mutex).
+Mutex g_emit_mutex;
 
 bool timestamps_enabled() {
   int state = g_timestamps.load(std::memory_order_relaxed);
@@ -118,7 +121,7 @@ void emit(Level lvl, const std::string& message) {
   line += "] ";
   line += message;
   line += '\n';
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/obs.hpp"
 
 namespace odonn {
@@ -85,7 +86,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -94,7 +95,8 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  void submit(std::size_t depth, std::function<void()> fn) {
+  void submit(std::size_t depth, std::function<void()> fn)
+      ODONN_EXCLUDES(mutex_) {
     Task task{std::move(fn), depth, {}, false};
 #ifndef ODONN_OBS_DISABLE
     if (obs::detail_enabled()) {
@@ -103,7 +105,7 @@ class ThreadPool {
     }
 #endif
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -111,10 +113,10 @@ class ThreadPool {
 
   /// Runs one queued task with depth >= min_depth on the calling thread.
   /// Returns false when no such task is queued.
-  bool try_help(std::size_t min_depth) {
+  bool try_help(std::size_t min_depth) ODONN_EXCLUDES(mutex_) {
     Task task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
         if (it->depth >= min_depth) {
           task = std::move(*it);
@@ -160,8 +162,11 @@ class ThreadPool {
     for (;;) {
       Task task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+        MutexLock lock(mutex_);
+        cv_.wait(mutex_,
+                 [this]() ODONN_REQUIRES(mutex_) {
+                   return stopping_ || !tasks_.empty();
+                 });
         if (stopping_ && tasks_.empty()) return;
         task = std::move(tasks_.front());
         tasks_.pop_front();
@@ -171,16 +176,16 @@ class ThreadPool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Task> tasks_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<Task> tasks_ ODONN_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ ODONN_GUARDED_BY(mutex_) = false;
 };
 
-std::size_t g_requested_threads = 0;  // 0 = auto
+Mutex g_pool_mutex;
+std::size_t g_requested_threads ODONN_GUARDED_BY(g_pool_mutex) = 0;  // 0 = auto
 std::atomic<bool> g_pool_built{false};
-std::mutex g_pool_mutex;
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("ODONN_THREADS")) {
@@ -193,7 +198,7 @@ std::size_t default_thread_count() {
 
 ThreadPool& pool() {
   static ThreadPool* instance = [] {
-    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    MutexLock lock(g_pool_mutex);
     const std::size_t n =
         g_requested_threads > 0 ? g_requested_threads : default_thread_count();
     g_pool_built.store(true);
@@ -208,34 +213,35 @@ ThreadPool& pool() {
 /// nothing at its depth or deeper, which means every task of its batch is
 /// already executing on some thread — each will count_down and wake it.
 struct Latch {
-  std::mutex m;
-  std::condition_variable cv;
-  std::size_t remaining;
-  std::exception_ptr first_error;
+  Mutex m;
+  CondVar cv;
+  std::size_t remaining ODONN_GUARDED_BY(m);
+  std::exception_ptr first_error ODONN_GUARDED_BY(m);
 
   explicit Latch(std::size_t n) : remaining(n) {}
 
-  void count_down(std::exception_ptr err) {
-    std::lock_guard<std::mutex> lock(m);
+  void count_down(std::exception_ptr err) ODONN_EXCLUDES(m) {
+    MutexLock lock(m);
     if (err && !first_error) first_error = err;
     if (--remaining == 0) cv.notify_all();
   }
 
-  void wait_helping(ThreadPool& help, std::size_t min_depth) {
+  void wait_helping(ThreadPool& help, std::size_t min_depth)
+      ODONN_EXCLUDES(m) {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(m);
+        MutexLock lock(m);
         if (remaining == 0) break;
       }
       if (!help.try_help(min_depth)) {
-        std::unique_lock<std::mutex> lock(m);
+        MutexLock lock(m);
         if (remaining == 0) break;
         // Sleep until a count_down. Work enqueued while we sleep belongs
         // to other batches; its own submitters (or free workers) run it.
-        cv.wait(lock);
+        cv.wait(m);
       }
     }
-    std::lock_guard<std::mutex> lock(m);
+    MutexLock lock(m);
     if (first_error) std::rethrow_exception(first_error);
   }
 };
@@ -244,13 +250,13 @@ struct Latch {
 
 std::size_t thread_count() {
   if (g_pool_built.load()) return pool().size();
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   return g_requested_threads > 0 ? g_requested_threads : default_thread_count();
 }
 
 void set_thread_count(std::size_t n) {
   if (n < 1) throw ConfigError("set_thread_count: thread count must be >= 1");
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (g_pool_built.load()) {
     // The pool cannot be resized once built (worker threads and queued
     // work reference it), but re-stating the current size is harmless —

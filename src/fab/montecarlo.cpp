@@ -76,7 +76,7 @@ MonteCarloEvaluator::encoded_inputs(const optics::GridSpec& grid) const {
   // variant shares the same input fields. The cache is replaced (never
   // mutated in place) under the mutex, so concurrent evaluate() calls are
   // safe: each caller keeps its own shared_ptr snapshot for the whole run.
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   if (inputs_ == nullptr || !(inputs_grid_ == grid)) {
     auto encoded = std::make_shared<std::vector<optics::Field>>();
     encoded->reserve(eval_.size());

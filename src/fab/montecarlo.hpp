@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "data/dataset.hpp"
 #include "donn/model.hpp"
 #include "fab/perturbation.hpp"
@@ -119,9 +119,10 @@ class MonteCarloEvaluator {
   /// evaluate()/compare() calls. Guarded by cache_mutex_ so concurrent
   /// evaluate() calls on one instance are safe (each call still owns the
   /// realization-level parallelism inside it).
-  mutable std::mutex cache_mutex_;
-  mutable std::shared_ptr<const std::vector<optics::Field>> inputs_;
-  mutable optics::GridSpec inputs_grid_{};
+  mutable Mutex cache_mutex_;
+  mutable std::shared_ptr<const std::vector<optics::Field>> inputs_
+      ODONN_GUARDED_BY(cache_mutex_);
+  mutable optics::GridSpec inputs_grid_ ODONN_GUARDED_BY(cache_mutex_){};
 };
 
 }  // namespace odonn::fab

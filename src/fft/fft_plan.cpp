@@ -1,7 +1,7 @@
 #include "fft/fft_plan.hpp"
 
 #include <cmath>
-#include <mutex>
+#include "common/thread_annotations.hpp"
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -155,10 +155,11 @@ void Plan::execute(std::span<Cplx> data, Direction dir) const {
 namespace {
 
 struct PlanCache {
-  std::mutex mutex;
-  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  Mutex mutex;
+  std::unordered_map<std::size_t, std::shared_ptr<const Plan>> plans
+      ODONN_GUARDED_BY(mutex);
+  std::uint64_t hits ODONN_GUARDED_BY(mutex) = 0;
+  std::uint64_t misses ODONN_GUARDED_BY(mutex) = 0;
 };
 
 PlanCache& plan_cache() {
@@ -170,7 +171,7 @@ PlanCache& plan_cache() {
 
 std::shared_ptr<const Plan> plan_for(std::size_t n) {
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   auto it = cache.plans.find(n);
   if (it != cache.plans.end()) {
     ++cache.hits;
@@ -187,7 +188,7 @@ std::shared_ptr<const Plan> plan_for(std::size_t n) {
 
 PlanCacheStats plan_cache_stats() {
   PlanCache& cache = plan_cache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(cache.mutex);
   return {cache.plans.size(), cache.hits, cache.misses};
 }
 

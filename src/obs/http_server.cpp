@@ -79,12 +79,12 @@ void HttpServer::handle(const std::string& path, Handler handler) {
   ODONN_CHECK(!path.empty() && path.front() == '/',
               "http: route path must start with '/'");
   ODONN_CHECK(handler != nullptr, "http: null handler");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   handlers_[path] = std::move(handler);
 }
 
 void HttpServer::start() {
-  ODONN_CHECK(!running_, "http: start() called twice");
+  ODONN_CHECK(!running(), "http: start() called twice");
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw IoError("http: socket() failed");
@@ -126,9 +126,12 @@ void HttpServer::start() {
   port_ = ntohs(bound.sin_port);
 
   listen_fd_ = fd;
-  stopping_ = false;
-  served_ = 0;
-  running_ = true;
+  {
+    MutexLock lock(mutex_);
+    stopping_ = false;
+    served_ = 0;
+  }
+  running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(options_.handler_threads);
   for (std::size_t i = 0; i < options_.handler_threads; ++i) {
@@ -137,9 +140,9 @@ void HttpServer::start() {
 }
 
 void HttpServer::stop() {
-  if (!running_) return;
+  if (!running()) return;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -152,18 +155,18 @@ void HttpServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 std::uint64_t HttpServer::requests_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return served_;
 }
 
 void HttpServer::accept_loop() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) return;
     }
     // Short poll so the stop flag is observed within ~100ms without
@@ -177,7 +180,7 @@ void HttpServer::accept_loop() {
     if (client < 0) continue;
     set_socket_timeouts(client, 5);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) {
         // Shutting down: refuse politely rather than strand the peer.
         ::close(client);
@@ -193,8 +196,10 @@ void HttpServer::worker_loop() {
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() ODONN_REQUIRES(mutex_) {
+        return stopping_ || !pending_.empty();
+      });
       if (pending_.empty()) return;  // stopping and fully drained
       fd = pending_.front();
       pending_.pop_front();
@@ -235,7 +240,7 @@ void HttpServer::serve_connection(int fd) {
   // response must already be visible in requests_served() (tests join
   // their clients and then assert the exact count).
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++served_;
   }
   write_response(fd, response);
@@ -258,7 +263,7 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) {
   }
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = handlers_.find(request.path);
     if (it != handlers_.end()) handler = it->second;
   }

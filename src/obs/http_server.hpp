@@ -27,16 +27,17 @@
 // start(); start()/stop() are not reentrant.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace odonn::obs {
 
@@ -93,7 +94,7 @@ class HttpServer {
   /// Valid after start().
   std::uint16_t port() const { return port_; }
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Requests fully served (any status) since start().
   std::uint64_t requests_served() const;
@@ -107,15 +108,19 @@ class HttpServer {
   HttpServerOptions options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
-  bool running_ = false;
+  /// Atomic so running() is safe from any thread while start()/stop() run
+  /// on the controlling thread (start()/stop() themselves are not
+  /// reentrant).
+  std::atomic<bool> running_{false};
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
-  bool stopping_ = false;
-  std::uint64_t served_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  /// Accepted fds awaiting a worker.
+  std::deque<int> pending_ ODONN_GUARDED_BY(mutex_);
+  bool stopping_ ODONN_GUARDED_BY(mutex_) = false;
+  std::uint64_t served_ ODONN_GUARDED_BY(mutex_) = 0;
 
-  std::unordered_map<std::string, Handler> handlers_;  ///< guarded by mutex_
+  std::unordered_map<std::string, Handler> handlers_ ODONN_GUARDED_BY(mutex_);
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

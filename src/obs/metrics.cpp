@@ -55,7 +55,7 @@ const std::vector<double>& Histogram::bucket_bounds() {
 }
 
 void Histogram::observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -83,7 +83,7 @@ Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.buckets.assign(bucket_bounds().size(), 0);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (count_ == 0) {
       return snap;
     }
@@ -113,7 +113,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 void Histogram::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   next_ = 0;
   wrapped_ = false;
   count_ = 0;
@@ -193,7 +193,7 @@ MetricsRegistry& MetricsRegistry::global() {
 MetricsRegistry::MetricsRegistry() = default;
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_
@@ -207,7 +207,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(name, std::make_unique<Entry>(Entry::Kind::Gauge))
@@ -221,7 +221,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_
@@ -237,7 +237,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -253,7 +253,7 @@ std::string MetricsRegistry::to_json() const {
   // takes its own mutex.
   std::vector<std::pair<std::string, const Entry*>> items;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     items.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) {
       items.emplace_back(name, entry.get());
@@ -303,7 +303,7 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_text() const {
   std::vector<std::pair<std::string, const Entry*>> items;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     items.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) {
       items.emplace_back(name, entry.get());
@@ -366,7 +366,7 @@ std::string MetricsRegistry::to_text() const {
 void MetricsRegistry::reset() {
   std::vector<Entry*> items;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     items.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) {
       (void)name;

@@ -22,9 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace odonn::obs {
 
@@ -122,15 +123,16 @@ class Histogram {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> window_;
-  std::size_t next_ = 0;
-  bool wrapped_ = false;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::vector<std::uint64_t> buckets_;  ///< per-bound counts (non-cumulative)
+  mutable Mutex mutex_;
+  std::vector<double> window_ ODONN_GUARDED_BY(mutex_);
+  std::size_t next_ ODONN_GUARDED_BY(mutex_) = 0;
+  bool wrapped_ ODONN_GUARDED_BY(mutex_) = false;
+  std::uint64_t count_ ODONN_GUARDED_BY(mutex_) = 0;
+  double sum_ ODONN_GUARDED_BY(mutex_) = 0.0;
+  double min_ ODONN_GUARDED_BY(mutex_) = 0.0;
+  double max_ ODONN_GUARDED_BY(mutex_) = 0.0;
+  /// Per-bound counts (non-cumulative).
+  std::vector<std::uint64_t> buckets_ ODONN_GUARDED_BY(mutex_);
 };
 
 /// Name -> instrument map. Instruments are created on first use and never
@@ -182,8 +184,9 @@ class MetricsRegistry {
  private:
   struct Entry;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_
+      ODONN_GUARDED_BY(mutex_);
 };
 
 /// Per-task detail collection (queue-wait timestamps in the thread pool).

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include "common/thread_annotations.hpp"
 #include <sstream>
 #include <utility>
 
@@ -19,12 +19,11 @@ constexpr std::size_t kMaxTraceEvents = std::size_t{1} << 16;
 std::atomic<int> g_tracing{-1};
 
 struct TraceState {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  Mutex mutex;
+  std::vector<TraceEvent> events ODONN_GUARDED_BY(mutex);
   std::atomic<std::uint64_t> dropped{0};
-  /// Streaming sink (span flush-to-file); null when detached. Guarded by
-  /// `mutex` like the event buffer.
-  std::FILE* flush_file = nullptr;
+  /// Streaming sink (span flush-to-file); null when detached.
+  std::FILE* flush_file ODONN_GUARDED_BY(mutex) = nullptr;
   std::atomic<std::uint64_t> flushed{0};
 };
 
@@ -90,7 +89,7 @@ std::string span_json(const TraceEvent& event) {
 /// overflow as flushed-with-sink / dropped-without.
 void append_event(TraceEvent event) {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (s.flush_file != nullptr) {
     // Streaming sink: one JSON line per completed span (same fields as a
     // spans_json() element), written whole under the state mutex so lines
@@ -159,13 +158,13 @@ void record_span(std::string name, std::int64_t start_us,
 
 std::vector<TraceEvent> trace_events() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   return s.events;
 }
 
 void clear_trace() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   s.events.clear();
   s.dropped.store(0, std::memory_order_relaxed);
 }
@@ -180,7 +179,7 @@ void set_trace_flush_file(const std::string& path) {
     throw IoError("trace: cannot open flush file " + path);
   }
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (s.flush_file != nullptr) std::fclose(s.flush_file);
   s.flush_file = file;
   s.flushed.store(0, std::memory_order_relaxed);
@@ -188,7 +187,7 @@ void set_trace_flush_file(const std::string& path) {
 
 void close_trace_flush_file() {
   TraceState& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
+  MutexLock lock(s.mutex);
   if (s.flush_file != nullptr) {
     std::fclose(s.flush_file);
     s.flush_file = nullptr;

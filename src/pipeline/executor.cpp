@@ -2,7 +2,7 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
+#include "common/thread_annotations.hpp"
 #include <utility>
 
 #include "common/error.hpp"
@@ -26,7 +26,7 @@ std::vector<JobResult> ParallelTableRunner::run(
   // One mutex serializes every progress callback across all concurrent
   // jobs, so the sink itself need not be thread-safe and events never
   // interleave inside it.
-  const auto progress_mutex = std::make_shared<std::mutex>();
+  const auto progress_mutex = std::make_shared<Mutex>();
   std::vector<std::function<void()>> tasks;
   tasks.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -49,7 +49,7 @@ std::vector<JobResult> ParallelTableRunner::run(
         event.stage_name = stage.name();
         event.finished = false;
         ODONN_OBS_COUNT("pipeline.progress_events", 1);
-        std::lock_guard<std::mutex> lock(*progress_mutex);
+        MutexLock lock(*progress_mutex);
         options_.progress(event);
       };
       observer.on_stage_end = [this, progress_mutex, &jobs, i](
@@ -63,7 +63,7 @@ std::vector<JobResult> ParallelTableRunner::run(
         event.seconds = timing.seconds;
         event.skipped = timing.skipped;
         ODONN_OBS_COUNT("pipeline.progress_events", 1);
-        std::lock_guard<std::mutex> lock(*progress_mutex);
+        MutexLock lock(*progress_mutex);
         options_.progress(event);
       };
       job.pipeline.set_observer(std::move(observer));

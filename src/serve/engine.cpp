@@ -59,7 +59,7 @@ std::future<PredictResult> InferenceEngine::submit(
   request.enqueued = ServeStats::Clock::now();
   std::future<PredictResult> future = request.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) throw Error("engine: submit after shutdown");
     if (queue_.size() >= options_.max_queue) {
       if (options_.backpressure == Backpressure::Reject) {
@@ -72,7 +72,7 @@ std::future<PredictResult> InferenceEngine::submit(
             "); retry later or switch backpressure to block");
       }
       // Block: park until the drain thread frees a slot (or shutdown).
-      space_cv_.wait(lock, [this] {
+      space_cv_.wait(mutex_, [this]() ODONN_REQUIRES(mutex_) {
         return stopping_ || queue_.size() < options_.max_queue;
       });
       if (stopping_) throw Error("engine: submit after shutdown");
@@ -88,7 +88,7 @@ std::future<PredictResult> InferenceEngine::submit(
 
 void InferenceEngine::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && !worker_.joinable()) return;
     stopping_ = true;
   }
@@ -98,7 +98,7 @@ void InferenceEngine::shutdown() {
 }
 
 std::size_t InferenceEngine::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -115,8 +115,10 @@ void InferenceEngine::drain_loop() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(mutex_, [this]() ODONN_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping, fully drained
 
       // Window mode: once work is pending, give co-submitted traffic a
@@ -127,9 +129,10 @@ void InferenceEngine::drain_loop() {
       if (!options_.continuous && !stopping_ &&
           queue_.size() < options_.max_batch &&
           options_.batch_window.count() > 0) {
-        cv_.wait_for(lock, options_.batch_window, [this] {
-          return stopping_ || queue_.size() >= options_.max_batch;
-        });
+        cv_.wait_for(mutex_, options_.batch_window,
+                     [this]() ODONN_REQUIRES(mutex_) {
+                       return stopping_ || queue_.size() >= options_.max_batch;
+                     });
       }
 
       const std::size_t take = std::min(queue_.size(), options_.max_batch);

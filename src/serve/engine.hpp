@@ -42,17 +42,16 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/batched_forward.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -205,11 +204,11 @@ class InferenceEngine {
   ServeStats stats_;
   LabelledMetrics labelled_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;        ///< work available / stopping
-  std::condition_variable space_cv_;  ///< queue slot freed (Block mode)
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;        ///< work available / stopping
+  CondVar space_cv_;  ///< queue slot freed (Block mode)
+  std::deque<Request> queue_ ODONN_GUARDED_BY(mutex_);
+  bool stopping_ ODONN_GUARDED_BY(mutex_) = false;
 
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> rejected_{0};

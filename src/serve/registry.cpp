@@ -12,7 +12,7 @@ std::shared_ptr<const donn::DonnModel> ModelRegistry::add(
   ODONN_CHECK(!name.empty(), "registry: model name must be non-empty");
   auto snapshot =
       std::make_shared<const donn::DonnModel>(std::move(model));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   models_[name] = snapshot;
   return snapshot;
 }
@@ -33,7 +33,7 @@ void ModelRegistry::save(const std::string& name,
 
 std::shared_ptr<const donn::DonnModel> ModelRegistry::find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second;
 }
@@ -46,14 +46,14 @@ std::shared_ptr<const donn::DonnModel> ModelRegistry::get(
 }
 
 bool ModelRegistry::erase(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return models_.erase(name) > 0;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
   std::vector<std::string> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     out.reserve(models_.size());
     for (const auto& [name, model] : models_) out.push_back(name);
   }
@@ -62,7 +62,7 @@ std::vector<std::string> ModelRegistry::names() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return models_.size();
 }
 

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "donn/model.hpp"
 
 namespace odonn::serve {
@@ -55,9 +55,9 @@ class ModelRegistry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const donn::DonnModel>>
-      models_;
+      models_ ODONN_GUARDED_BY(mutex_);
 };
 
 }  // namespace odonn::serve

@@ -33,7 +33,7 @@ void ServeStats::record_request(double latency_seconds,
   ODONN_OBS_HIST("serve.attr.batch_wait_ms", attr.batch_wait_s * 1e3);
   ODONN_OBS_HIST("serve.attr.compute_ms", attr.compute_s * 1e3);
   const Clock::time_point now = Clock::now();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++requests_;
   if (window_.size() < kWindowCapacity) {
     window_.push_back(latency_seconds);
@@ -58,14 +58,14 @@ void ServeStats::record_request(double latency_seconds,
 void ServeStats::record_batch(std::size_t size) {
   ODONN_OBS_COUNT("serve.batches", 1);
   ODONN_OBS_HIST("serve.batch_size", size);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++batches_;
   batched_samples_ += size;
 }
 
 void ServeStats::record_error() {
   ODONN_OBS_COUNT("serve.errors", 1);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++errors_;
 }
 
@@ -73,7 +73,7 @@ ServeStats::Snapshot ServeStats::snapshot() const {
   std::vector<double> window;
   Snapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     window = window_;
     snap.requests = requests_;
     snap.batches = batches_;
@@ -107,18 +107,18 @@ ServeStats::Snapshot ServeStats::snapshot() const {
 }
 
 std::vector<double> ServeStats::latency_window() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return window_;
 }
 
 ServeStats::AttributionWindows ServeStats::attribution_window() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return AttributionWindows{queue_wait_window_, batch_wait_window_,
                             compute_window_};
 }
 
 void ServeStats::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   window_.clear();
   queue_wait_window_.clear();
   batch_wait_window_.clear();

@@ -21,8 +21,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace odonn::serve {
 
@@ -93,20 +94,22 @@ class ServeStats {
  private:
   static constexpr std::size_t kWindowCapacity = 1 << 15;
 
-  mutable std::mutex mutex_;
-  std::vector<double> window_;   ///< ring of latency seconds
-  std::vector<double> queue_wait_window_;
-  std::vector<double> batch_wait_window_;
-  std::vector<double> compute_window_;
-  std::size_t next_ = 0;         ///< ring write cursor (all four rings)
-  std::uint64_t requests_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_samples_ = 0;
-  std::uint64_t errors_ = 0;
-  double max_latency_ = 0.0;
-  bool have_first_ = false;
-  Clock::time_point first_done_{};
-  Clock::time_point last_done_{};
+  mutable Mutex mutex_;
+  /// Ring of latency seconds.
+  std::vector<double> window_ ODONN_GUARDED_BY(mutex_);
+  std::vector<double> queue_wait_window_ ODONN_GUARDED_BY(mutex_);
+  std::vector<double> batch_wait_window_ ODONN_GUARDED_BY(mutex_);
+  std::vector<double> compute_window_ ODONN_GUARDED_BY(mutex_);
+  /// Ring write cursor (all four rings).
+  std::size_t next_ ODONN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t requests_ ODONN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ ODONN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t batched_samples_ ODONN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t errors_ ODONN_GUARDED_BY(mutex_) = 0;
+  double max_latency_ ODONN_GUARDED_BY(mutex_) = 0.0;
+  bool have_first_ ODONN_GUARDED_BY(mutex_) = false;
+  Clock::time_point first_done_ ODONN_GUARDED_BY(mutex_){};
+  Clock::time_point last_done_ ODONN_GUARDED_BY(mutex_){};
 };
 
 }  // namespace odonn::serve

@@ -275,10 +275,16 @@ std::vector<std::uint8_t> exact_1d_selection(
   }
   std::vector<std::uint8_t> sel(n);
   sel[n - 1] = static_cast<std::uint8_t>(best_c);
-  sel[n - 2] = static_cast<std::uint8_t>(best_b);
-  for (std::size_t i = n - 2; i >= 1; --i) {
-    const std::uint8_t b = parent[i][sel[i]][sel[i + 1]];
-    sel[i - 1] = b;
+  // n >= 2 past the n == 1 early return, but gcc's range analysis cannot
+  // carry that bound across the DP under sanitizer instrumentation and
+  // flags sel[n - 2] as a potential overflow; the guard restates the
+  // invariant where the optimizer can see it.
+  if (n >= 2) {
+    sel[n - 2] = static_cast<std::uint8_t>(best_b);
+    for (std::size_t i = n - 2; i >= 1; --i) {
+      const std::uint8_t b = parent[i][sel[i]][sel[i + 1]];
+      sel[i - 1] = b;
+    }
   }
   return sel;
 }

@@ -173,7 +173,9 @@ TEST(Slr, ConvergesOnQuadraticToyProblem) {
   }
   // ...and W tracks the dense target on the kept blocks.
   for (std::size_t i = 0; i < w[0].size(); ++i) {
-    if (masks[0][i] != 0) EXPECT_NEAR(w[0][i], target[i], 0.5);
+    if (masks[0][i] != 0) {
+      EXPECT_NEAR(w[0][i], target[i], 0.5);
+    }
   }
 }
 

@@ -1,0 +1,9 @@
+// Known-bad corpus: seeding from std::random_device makes every run draw a
+// different stream — digests would differ run to run. All randomness must
+// flow through the counter-based RNG streams (common/rng).
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;
+  return rd();
+}

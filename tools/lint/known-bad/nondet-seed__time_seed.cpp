@@ -1,0 +1,9 @@
+// Known-bad corpus: wall-clock seeding (srand(time(NULL))) — the classic
+// nondeterminism source the digest contract exists to forbid.
+#include <cstdlib>
+#include <ctime>
+
+void seed_from_clock() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  (void)rand();
+}

@@ -1,0 +1,11 @@
+// Known-bad corpus: a homegrown percentile. Divergent rank rules were a
+// real PR 4 bug class (three implementations disagreed on boundary ranks);
+// quantiles must go through odonn::nearest_rank / percentile_nearest_rank.
+#include <algorithm>
+#include <vector>
+
+double percentile (std::vector<double> v, double q) {
+  const std::size_t k = static_cast<std::size_t>(q * v.size());
+  std::nth_element(v.begin(), v.begin() + k, v.end());
+  return v[k];
+}

@@ -1,0 +1,8 @@
+// Known-bad corpus: raw std::cout logging in src/ tears under concurrent
+// table jobs and skips the level gate — emission must go through
+// common/log (line-atomic single fwrite).
+#include <iostream>
+
+void report_progress(int step) {
+  std::cout << "step " << step << " done" << std::endl;
+}

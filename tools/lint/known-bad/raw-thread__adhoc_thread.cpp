@@ -1,0 +1,8 @@
+// Known-bad corpus: an ad-hoc std::thread in src/ bypasses the
+// nesting-aware budget discipline of common/parallel — it can oversubscribe
+// the pool and its scheduling is invisible to ScopedThreadBudget.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread([] { /* work */ }).detach();
+}
